@@ -1,0 +1,169 @@
+// Package pfcache's root benchmark harness regenerates every experiment of
+// DESIGN.md / EXPERIMENTS.md as a testing.B benchmark, so that
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's results (the per-experiment tables are printed once
+// per benchmark) and additionally measures the cost of the main algorithmic
+// building blocks.
+package pfcache_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pfcache/internal/core"
+	"pfcache/internal/experiments"
+	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
+	"pfcache/internal/opt"
+	"pfcache/internal/parallel"
+	"pfcache/internal/report"
+	"pfcache/internal/sim"
+	"pfcache/internal/single"
+	"pfcache/internal/workload"
+)
+
+// printOnce ensures each experiment table is printed a single time even
+// though the benchmark body runs b.N times.
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *report.Table
+	for i := 0; i < b.N; i++ {
+		tab, err = exp.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done && tab != nil {
+		fmt.Printf("\n%s\n", tab)
+	}
+}
+
+// Experiment benchmarks: one per table of the experiment index in DESIGN.md.
+
+func BenchmarkE1IntroExample(b *testing.B)            { runExperiment(b, "E1") }
+func BenchmarkE2IntroParallelExample(b *testing.B)    { runExperiment(b, "E2") }
+func BenchmarkE3AggressiveRatio(b *testing.B)         { runExperiment(b, "E3") }
+func BenchmarkE4AggressiveLowerBound(b *testing.B)    { runExperiment(b, "E4") }
+func BenchmarkE5DelaySweep(b *testing.B)              { runExperiment(b, "E5") }
+func BenchmarkE6Combination(b *testing.B)             { runExperiment(b, "E6") }
+func BenchmarkE7ParallelLPOptimal(b *testing.B)       { runExperiment(b, "E7") }
+func BenchmarkE8ParallelHeuristics(b *testing.B)      { runExperiment(b, "E8") }
+func BenchmarkA1SynchronizationAblation(b *testing.B) { runExperiment(b, "A1") }
+func BenchmarkA2EvictionAblation(b *testing.B)        { runExperiment(b, "A2") }
+
+// Component micro-benchmarks: cost of the individual building blocks on a
+// medium workload, so regressions in the substrates are visible without
+// running the full experiment suite.
+
+func mediumSingleDiskInstance() *core.Instance {
+	return core.SingleDisk(workload.Zipf(2000, 128, 1.1, 7), 32, 8)
+}
+
+func mediumParallelInstance() *core.Instance {
+	seq := workload.Interleaved(600, 3, 24)
+	return workload.Instance(seq, 16, 6, 3, workload.AssignStripe, 7)
+}
+
+func BenchmarkAlgorithmAggressive(b *testing.B) {
+	in := mediumSingleDiskInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := single.Aggressive(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgorithmConservative(b *testing.B) {
+	in := mediumSingleDiskInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := single.Conservative(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgorithmDelayBest(b *testing.B) {
+	in := mediumSingleDiskInstance()
+	d0 := single.BestDelay(in.F)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := single.Delay(in, d0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgorithmParallelAggressive(b *testing.B) {
+	in := mediumParallelInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parallel.Aggressive(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleExecutor(b *testing.B) {
+	in := mediumSingleDiskInstance()
+	sched, err := single.Aggressive(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(in, sched, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveOptimalSmall(b *testing.B) {
+	seq := workload.Uniform(14, 7, 3)
+	in := workload.Instance(seq, 3, 2, 2, workload.AssignStripe, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimal(in, opt.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPRelaxation(b *testing.B) {
+	seq := workload.Uniform(18, 8, 3)
+	in := workload.Instance(seq, 4, 3, 2, workload.AssignStripe, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lpmodel.LowerBound(in, lp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem4Pipeline(b *testing.B) {
+	seq := workload.Uniform(16, 7, 5)
+	in := workload.Instance(seq, 4, 3, 2, workload.AssignStripe, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lpmodel.Plan(in, lp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = workload.Zipf(5000, 256, 1.1, int64(i))
+	}
+}

@@ -1,0 +1,59 @@
+// Command pcbench runs the experiment suite that reproduces the paper's
+// results and prints one table per experiment.
+//
+// Usage:
+//
+//	pcbench                 # run every experiment
+//	pcbench -run E3,E7      # run selected experiments
+//	pcbench -list           # list experiment identifiers
+//	pcbench -csv            # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfcache/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	run := flag.String("run", "", "comma-separated experiment identifiers to run (default: all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := experiments.All()
+	if *run != "" {
+		selected = nil
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tab.CSV())
+		} else {
+			fmt.Printf("%s\n", tab)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command pcgen generates problem instances in the pfcache text format.
+//
+// Usage:
+//
+//	pcgen -workload zipf -n 200 -blocks 32 -k 8 -f 4 -disks 2 > instance.txt
+//	pcgen -workload adversary -k 7 -f 4 -phases 10 > hard.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfcache/internal/core"
+	"pfcache/internal/workload"
+)
+
+func main() {
+	kind := flag.String("workload", "uniform", "workload: uniform, zipf, scan, loop, phased, interleaved, mixed, adversary")
+	n := flag.Int("n", 200, "number of requests")
+	blocks := flag.Int("blocks", 32, "number of distinct blocks")
+	k := flag.Int("k", 8, "cache size")
+	f := flag.Int("f", 4, "fetch time")
+	disks := flag.Int("disks", 1, "number of disks")
+	assign := flag.String("assign", "stripe", "disk assignment: stripe, partition, random")
+	seed := flag.Int64("seed", 1, "random seed")
+	zipfS := flag.Float64("zipf-s", 1.1, "Zipf exponent")
+	phases := flag.Int("phases", 8, "phases for the adversary / phased workloads")
+	flag.Parse()
+
+	var strategy workload.DiskAssignment
+	switch *assign {
+	case "stripe":
+		strategy = workload.AssignStripe
+	case "partition":
+		strategy = workload.AssignPartition
+	case "random":
+		strategy = workload.AssignRandom
+	default:
+		fmt.Fprintf(os.Stderr, "unknown assignment %q\n", *assign)
+		os.Exit(2)
+	}
+
+	var in *core.Instance
+	switch *kind {
+	case "uniform":
+		in = workload.Instance(workload.Uniform(*n, *blocks, *seed), *k, *f, *disks, strategy, *seed)
+	case "zipf":
+		in = workload.Instance(workload.Zipf(*n, *blocks, *zipfS, *seed), *k, *f, *disks, strategy, *seed)
+	case "scan":
+		in = workload.Instance(workload.SequentialScan(*n, *blocks), *k, *f, *disks, strategy, *seed)
+	case "loop":
+		in = workload.Instance(workload.Loop(*blocks, (*n+*blocks-1)/(*blocks)), *k, *f, *disks, strategy, *seed)
+	case "phased":
+		in = workload.Instance(workload.Phased(*phases, *n / *phases, *blocks, *blocks/4, *seed), *k, *f, *disks, strategy, *seed)
+	case "interleaved":
+		in = workload.Instance(workload.Interleaved(*n, *disks, *blocks), *k, *f, *disks, strategy, *seed)
+	case "mixed":
+		in = workload.Instance(workload.Mixed(*n, *blocks/2, *blocks/2, 8, *seed), *k, *f, *disks, strategy, *seed)
+	case "adversary":
+		var err error
+		in, err = workload.AggressiveAdversary(*k, *f, *phases)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := workload.Write(os.Stdout, in); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

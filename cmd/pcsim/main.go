@@ -1,0 +1,79 @@
+// Command pcsim runs a prefetching/caching algorithm on an instance and
+// prints the resulting schedule cost.
+//
+// Usage:
+//
+//	pcgen -workload zipf -disks 2 > inst.txt
+//	pcsim -algo aggressive < inst.txt
+//	pcsim -algo lp-optimal -schedule < inst.txt
+//
+// Single-disk instances accept the algorithms of package single (aggressive,
+// conservative, delay:<d>, delay:auto, combination, demand-min, demand-lru,
+// demand-fifo); multi-disk instances accept lp-optimal, aggressive,
+// conservative and demand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfcache/internal/core"
+	"pfcache/internal/parallel"
+	"pfcache/internal/sim"
+	"pfcache/internal/single"
+	"pfcache/internal/workload"
+)
+
+func main() {
+	algo := flag.String("algo", "aggressive", "algorithm name")
+	showSchedule := flag.Bool("schedule", false, "print the fetch schedule")
+	trace := flag.Bool("trace", false, "print the execution trace")
+	flag.Parse()
+
+	in, err := workload.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sched, err := computeSchedule(in, *algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := sim.Run(in, sched, sim.Options{Trace: *trace})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedule infeasible: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("instance: %v\n", in)
+	fmt.Printf("algorithm: %s\n", *algo)
+	fmt.Printf("fetches: %d\n", res.FetchCount)
+	fmt.Printf("stall time: %d\n", res.Stall)
+	fmt.Printf("elapsed time: %d\n", res.Elapsed)
+	fmt.Printf("extra cache locations: %d\n", res.ExtraCache)
+	if *showSchedule {
+		fmt.Println("schedule:")
+		fmt.Println(sched)
+	}
+	if *trace {
+		fmt.Println("trace:")
+		for _, e := range res.Events {
+			fmt.Println("  " + e.String())
+		}
+	}
+}
+
+func computeSchedule(in *core.Instance, algo string) (*core.Schedule, error) {
+	if in.Disks == 1 {
+		if a, err := single.ByName(algo); err == nil {
+			return a.Run(in)
+		}
+	}
+	a, err := parallel.ByName(algo)
+	if err != nil {
+		return nil, fmt.Errorf("unknown algorithm %q for a %d-disk instance", algo, in.Disks)
+	}
+	return a.Run(in)
+}

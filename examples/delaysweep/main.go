@@ -1,0 +1,68 @@
+// Delay sweep: reproduce the sqrt(3) phenomenon of Theorem 3 / Corollary 1.
+//
+// The Delay(d) family bridges Aggressive (d = 0) and Conservative (d large).
+// This example sweeps d, prints the analytic approximation bound
+// max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)} next to the measured worst-case
+// elapsed-time ratio on random workloads, and marks the analytically best
+// delay d0 = floor((sqrt(3)-1)/2 * F).
+//
+// Run with:
+//
+//	go run ./examples/delaysweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfcache/internal/core"
+	"pfcache/internal/opt"
+	"pfcache/internal/sim"
+	"pfcache/internal/single"
+	"pfcache/internal/workload"
+)
+
+func main() {
+	const k, f = 4, 8
+	d0 := single.BestDelay(f)
+	fmt.Printf("cache k=%d, fetch time F=%d, analytic best delay d0=%d\n\n", k, f, d0)
+
+	// A small pool of workloads with known optima.
+	type inst struct {
+		in      *core.Instance
+		optimal int
+	}
+	var pool []inst
+	for seed := int64(0); seed < 3; seed++ {
+		in := core.SingleDisk(workload.Zipf(18, 7, 1.1, seed), k, f)
+		o, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, inst{in: in, optimal: o.Elapsed})
+	}
+
+	fmt.Printf("%4s  %12s  %12s\n", "d", "Thm3 bound", "max ratio")
+	for d := 0; d <= 2*f; d++ {
+		worst := 0.0
+		for _, it := range pool {
+			sched, err := single.Delay(it.in, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(it.in, sched, sim.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := float64(res.Elapsed) / float64(it.optimal)
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+		marker := ""
+		if d == d0 {
+			marker = "  <- d0 (bound tends to sqrt(3) = 1.732)"
+		}
+		fmt.Printf("%4d  %12.3f  %12.3f%s\n", d, single.DelayUpperBound(d, f), worst, marker)
+	}
+}

@@ -1,0 +1,62 @@
+// Parallel disks: run the Theorem 4 LP-based algorithm against the greedy
+// parallel strategies on a striped multi-disk workload.
+//
+// The algorithm of Section 3 of the paper computes, in polynomial time, a
+// schedule whose stall time is bounded by the optimal stall time while using
+// at most 2(D-1) extra cache locations.  This example shows the LP lower
+// bound, the stall time of the extracted schedule, and how the greedy
+// baselines compare.
+//
+// Run with:
+//
+//	go run ./examples/paralleldisk
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfcache/internal/parallel"
+	"pfcache/internal/sim"
+	"pfcache/internal/workload"
+)
+
+func main() {
+	const (
+		disks  = 3
+		k      = 5
+		f      = 3
+		n      = 24
+		blocks = 12
+	)
+	seq := workload.Interleaved(n, disks, blocks/disks)
+	in := workload.Instance(seq, k, f, disks, workload.AssignStripe, 1)
+	fmt.Println("instance:", in)
+	fmt.Println()
+
+	res, err := parallel.LPOptimal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LP lower bound on stall time: %.2f\n", res.LowerBound)
+	fmt.Printf("Theorem 4 schedule: stall=%d, extra cache=%d (budget 2(D-1)=%d)\n\n",
+		res.Stall, res.ExtraCache, 2*(disks-1))
+
+	for _, a := range parallel.Algorithms() {
+		if a.Name == "lp-optimal" {
+			continue
+		}
+		sched, err := a.Run(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := sim.Run(in, sched, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s stall=%d elapsed=%d\n", a.Name, r.Stall, r.Elapsed)
+	}
+
+	fmt.Println("\nTheorem 4 schedule:")
+	fmt.Println(res.Schedule)
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small single-disk instance, run the classical
+// integrated prefetching/caching algorithms on it, and compare their stall
+// times with the exhaustive optimum.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfcache/internal/core"
+	"pfcache/internal/opt"
+	"pfcache/internal/sim"
+	"pfcache/internal/single"
+)
+
+func main() {
+	// The worked example from the paper's introduction: requests to blocks
+	// b1 b2 b3 b4 b4 b5 b1 b4 b4 b2, a cache of 4 blocks that initially
+	// holds b1..b4, and a fetch time of 4 time units.
+	seq, names := core.ParseSequence("b1 b2 b3 b4 b4 b5 b1 b4 b4 b2")
+	in := core.SingleDisk(seq, 4, 4).
+		WithInitialCache(names["b1"], names["b2"], names["b3"], names["b4"])
+
+	fmt.Println("instance:", in)
+	fmt.Println("request sequence:", in.Seq)
+	fmt.Println()
+
+	for _, name := range []string{"aggressive", "conservative", "delay:1", "combination", "demand-min"} {
+		algo, err := single.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := algo.Run(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(in, sched, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s stall=%d elapsed=%d fetches=%d\n", name, res.Stall, res.Elapsed, res.FetchCount)
+	}
+
+	best, err := opt.Optimal(in, opt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s stall=%d elapsed=%d\n", "optimal", best.Stall, best.Elapsed)
+	fmt.Println()
+	fmt.Println("optimal schedule:")
+	fmt.Println(best.Schedule)
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// BlockID identifies a memory block.  Blocks are small non-negative integers;
+// NoBlock is the sentinel "no block" value used, for example, to mark a fetch
+// that does not evict anything.
+type BlockID int
+
+// NoBlock is the sentinel value meaning "no block".
+const NoBlock BlockID = -1
+
+// String renders the block as "b<N>", or "-" for NoBlock.  The rendering is
+// used by schedule and trace printers.
+func (b BlockID) String() string {
+	if b == NoBlock {
+		return "-"
+	}
+	return "b" + strconv.Itoa(int(b))
+}
+
+// Valid reports whether the block is a real block (not NoBlock and not
+// negative).
+func (b BlockID) Valid() bool { return b >= 0 }
+
+// NoRef is the position returned by reference lookups when a block is never
+// (or never again) referenced.  It is larger than every valid position.
+const NoRef = int(^uint(0) >> 1)
+
+// refString renders a reference position, using "inf" for NoRef.  It is used
+// by debugging helpers.
+func refString(pos int) string {
+	if pos == NoRef {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", pos)
+}

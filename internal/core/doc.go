@@ -1,0 +1,26 @@
+// Package core defines the problem model for integrated prefetching and
+// caching in single and parallel disk systems, following the model of
+// Cao, Felten, Karlin and Li that is used by Albers and Büttner
+// ("Integrated prefetching and caching in single and parallel disk systems",
+// SPAA 2003 / Information and Computation 198 (2005) 24-39).
+//
+// The model: a request sequence r1..rn of blocks must be served in order.
+// Serving a request to a block that is present in the cache takes one time
+// unit.  The cache holds k blocks.  A missing block must be fetched from the
+// disk it resides on; a fetch takes F time units and may overlap the service
+// of requests to cached blocks.  Initiating a fetch requires choosing a block
+// to evict; the evicted block is unavailable from the moment the fetch is
+// initiated and the fetched block becomes available when the fetch completes.
+// If the fetch has not completed when its block is requested, the processor
+// stalls for the remaining time.  With D parallel disks each block resides on
+// exactly one disk, at most one fetch is in progress per disk, and stall time
+// spent waiting for one disk lets fetches on all other disks progress.
+//
+// The objectives studied in the paper are the total stall time and the
+// elapsed time (stall time plus the length of the request sequence).
+//
+// Package core contains the passive data types only: blocks, request
+// sequences and their occurrence index, problem instances, and
+// prefetching/caching schedules.  Executing a schedule and measuring its
+// stall time is the job of package sim.
+package core

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
+	"pfcache/internal/opt"
+	"pfcache/internal/parallel"
+	"pfcache/internal/report"
+	"pfcache/internal/sim"
+	"pfcache/internal/stats"
+	"pfcache/internal/workload"
+)
+
+// runParallel executes a parallel-disk algorithm and returns its executor
+// result.
+func runParallel(in *core.Instance, a parallel.Algorithm) (*sim.Result, error) {
+	sched, err := a.Run(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	res, err := sim.Run(in, sched, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return res, nil
+}
+
+// E2IntroParallelExample reproduces the two-disk worked example of the
+// introduction, whose schedule has total stall time 3 (which the exhaustive
+// search confirms to be optimal).  Expected shape: parallel Aggressive and
+// the LP algorithm achieve stall 3; demand paging pays the full fetch time
+// per fault.
+func E2IntroParallelExample() (*report.Table, error) {
+	in := IntroParallelInstance()
+	t := report.NewTable("E2: introduction example, two disks (k=4, F=4, n=7)",
+		"algorithm", "stall", "elapsed", "extra cache")
+	t.Note = "Paper: the described schedule has stall time 3."
+	for _, a := range parallel.Algorithms() {
+		res, err := runParallel(in, a)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(a.Name, res.Stall, res.Elapsed, res.ExtraCache)
+	}
+	optRes, err := opt.Optimal(in, opt.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("optimal (exhaustive)", optRes.Stall, optRes.Elapsed, 0)
+	return t, nil
+}
+
+// E7ParallelLPOptimal is the reproduction of Theorem 4: on random multi-disk
+// instances the LP-based schedule must match the optimal stall time while
+// using at most 2(D-1) extra cache locations, improving on the previous
+// D-approximation.  Expected shape: "stall ratio" 1.000 for every D and
+// "max extra" at most 2(D-1).
+func E7ParallelLPOptimal() (*report.Table, error) {
+	t := report.NewTable("E7: Theorem 4 - LP schedule vs optimal stall",
+		"D", "instances", "mean stall ratio", "max stall ratio", "max extra cache", "budget 2(D-1)", "mean LP bound / OPT")
+	t.Note = "Expected: stall ratio 1.000, extra cache within budget."
+	for _, disks := range []int{1, 2, 3} {
+		var ratios, bounds []float64
+		maxExtra := 0
+		instances := 0
+		for seed := int64(0); seed < 4; seed++ {
+			seq := workload.Uniform(11, 6, 900+seed)
+			in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
+			optRes, err := opt.Optimal(in, opt.Options{})
+			if err != nil {
+				return nil, err
+			}
+			res, err := parallel.LPOptimal(in)
+			if err != nil {
+				return nil, err
+			}
+			instances++
+			ratios = append(ratios, stats.Ratio(float64(res.Stall), float64(optRes.Stall)))
+			bounds = append(bounds, stats.Ratio(res.LowerBound, float64(optRes.Stall)))
+			if res.ExtraCache > maxExtra {
+				maxExtra = res.ExtraCache
+			}
+		}
+		s := stats.Summarize(ratios)
+		b := stats.Summarize(bounds)
+		t.AddRow(disks, instances, s.Mean, s.Max, maxExtra, 2*(disks-1), b.Mean)
+	}
+	return t, nil
+}
+
+// E8ParallelHeuristics measures how the greedy parallel strategies degrade as
+// the number of disks grows, normalising stall times by the LP lower bound
+// (a certified lower bound on the optimal stall time).  Expected shape: the
+// LP algorithm stays at ratio about 1 while Aggressive, Conservative and
+// especially demand paging drift upwards with D, the behaviour that motivates
+// Theorem 4 (prior guarantees degraded like D).
+func E8ParallelHeuristics() (*report.Table, error) {
+	t := report.NewTable("E8: parallel heuristics vs number of disks (stall / LP lower bound)",
+		"D", "lp-optimal", "aggressive", "conservative", "demand")
+	t.Note = "Expected: lp-optimal stays near 1; the others grow with D."
+	for _, disks := range []int{1, 2, 3, 4} {
+		sums := map[string][]float64{}
+		for seed := int64(0); seed < 3; seed++ {
+			seq := workload.Interleaved(16, disks, 5)
+			in := workload.Instance(seq, 4, 3, disks, workload.AssignStripe, 0)
+			lb, err := lpmodel.LowerBound(in, lp.Options{})
+			if err != nil {
+				return nil, err
+			}
+			// Guard against a zero lower bound (nothing to fetch).
+			if lb < 0.5 {
+				lb = 1
+			}
+			for _, a := range parallel.Algorithms() {
+				res, err := runParallel(in, a)
+				if err != nil {
+					return nil, err
+				}
+				sums[a.Name] = append(sums[a.Name], float64(res.Stall)/lb)
+			}
+		}
+		t.AddRow(disks,
+			stats.Summarize(sums["lp-optimal"]).Mean,
+			stats.Summarize(sums["aggressive"]).Mean,
+			stats.Summarize(sums["conservative"]).Mean,
+			stats.Summarize(sums["demand"]).Mean)
+	}
+	return t, nil
+}
+
+// A1SynchronizationAblation quantifies the two relaxations behind Lemma 3 and
+// Theorem 4: how much the optimal stall time improves when the cache gets
+// D-1 extra locations, and how the synchronized LP lower bound compares with
+// both.  Expected shape: OPT(k + D - 1) <= OPT(k), and the synchronized LP
+// bound is at most OPT(k) (Lemma 3), typically equal to it.
+func A1SynchronizationAblation() (*report.Table, error) {
+	t := report.NewTable("A1: ablation - extra cache locations and synchronization",
+		"D", "instance", "OPT(k)", "OPT(k+D-1)", "LP bound (synchronized, k+D-1)")
+	t.Note = "Expected: LP bound <= OPT(k); extra locations never hurt."
+	for _, disks := range []int{2, 3} {
+		for seed := int64(0); seed < 3; seed++ {
+			seq := workload.Uniform(10, 6, 300+seed)
+			in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
+			base, err := opt.OptimalStall(in, opt.Options{})
+			if err != nil {
+				return nil, err
+			}
+			extra, err := opt.OptimalStall(in, opt.Options{ExtraCache: disks - 1})
+			if err != nil {
+				return nil, err
+			}
+			lb, err := lpmodel.LowerBound(in, lp.Options{})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(disks, fmt.Sprintf("uniform/%d", seed), base, extra, lb)
+		}
+	}
+	return t, nil
+}

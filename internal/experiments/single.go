@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+	"pfcache/internal/opt"
+	"pfcache/internal/report"
+	"pfcache/internal/sim"
+	"pfcache/internal/single"
+	"pfcache/internal/stats"
+	"pfcache/internal/workload"
+)
+
+// IntroSingleDiskInstance returns the worked example from the introduction of
+// the paper: sigma = b1 b2 b3 b4 b4 b5 b1 b4 b4 b2 with k = 4, F = 4 and
+// b1..b4 initially cached.
+func IntroSingleDiskInstance() *core.Instance {
+	seq := core.Sequence{0, 1, 2, 3, 3, 4, 0, 3, 3, 1}
+	return core.SingleDisk(seq, 4, 4).WithInitialCache(0, 1, 2, 3)
+}
+
+// IntroParallelInstance returns the two-disk worked example from the
+// introduction: sigma = b1 b2 c1 c2 b3 c3 b4 with k = 4, F = 4, b1,b2,c1,c2
+// initially cached, b-blocks on disk 0 and c-blocks on disk 1.
+func IntroParallelInstance() *core.Instance {
+	seq := core.Sequence{0, 1, 4, 5, 2, 6, 3}
+	diskOf := map[core.BlockID]int{0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1}
+	return core.MultiDisk(seq, 4, 4, 2, diskOf).WithInitialCache(0, 1, 4, 5)
+}
+
+// runSingle executes a single-disk algorithm and returns its executor result.
+func runSingle(in *core.Instance, a single.Algorithm) (*sim.Result, error) {
+	sched, err := a.Run(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	res, err := sim.Run(in, sched, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return res, nil
+}
+
+// E1IntroExample reproduces the single-disk worked example of the paper's
+// introduction.  The paper discusses two schedules, with elapsed times 13
+// (the Aggressive-style early fetch) and 11 (the better, delayed fetch); the
+// table reports what each implemented algorithm and the exhaustive optimum
+// achieve.  Expected shape: Aggressive 13, optimal 11, Delay(1) and the LP
+// pipeline 11.
+func E1IntroExample() (*report.Table, error) {
+	in := IntroSingleDiskInstance()
+	t := report.NewTable("E1: introduction example, single disk (k=4, F=4, n=10)",
+		"algorithm", "stall", "elapsed")
+	t.Note = "Paper: early fetch gives elapsed 13, the better schedule 11."
+	algos := []single.Algorithm{}
+	for _, name := range []string{"aggressive", "conservative", "delay:1", "combination", "demand-min"} {
+		a, err := single.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		algos = append(algos, a)
+	}
+	for _, a := range algos {
+		res, err := runSingle(in, a)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(a.Name, res.Stall, res.Elapsed)
+	}
+	optRes, err := opt.Optimal(in, opt.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("optimal (exhaustive)", optRes.Stall, optRes.Elapsed)
+	return t, nil
+}
+
+// E3AggressiveRatio measures the elapsed-time ratio of Aggressive against the
+// exhaustive optimum across cache sizes, fetch times and workload shapes, and
+// compares it with the refined Theorem 1 bound and the original bound of Cao
+// et al.  Expected shape: every measured ratio is at most the Theorem 1 bound
+// (which is itself at most the Cao bound and at most 2), and the bound
+// tightens as k grows relative to F.
+func E3AggressiveRatio() (*report.Table, error) {
+	t := report.NewTable("E3: Aggressive elapsed-time ratio vs bounds (Theorem 1)",
+		"k", "F", "workload", "mean ratio", "max ratio", "Thm1 bound", "Cao bound")
+	t.Note = "Expected: max ratio <= Thm1 bound <= Cao bound <= 2."
+	type cfg struct{ k, f int }
+	configs := []cfg{{3, 2}, {4, 2}, {4, 4}, {5, 3}, {5, 5}, {3, 5}}
+	workloads := []struct {
+		name string
+		gen  func(seed int64) core.Sequence
+	}{
+		{"uniform", func(seed int64) core.Sequence { return workload.Uniform(20, 8, seed) }},
+		{"zipf", func(seed int64) core.Sequence { return workload.Zipf(20, 8, 1.1, seed) }},
+		{"loop", func(seed int64) core.Sequence { return workload.Loop(7, 3) }},
+	}
+	for _, c := range configs {
+		for _, w := range workloads {
+			var ratios []float64
+			for seed := int64(0); seed < 3; seed++ {
+				in := core.SingleDisk(w.gen(seed), c.k, c.f)
+				optRes, err := opt.Optimal(in, opt.Options{})
+				if err != nil {
+					return nil, err
+				}
+				a, _ := single.ByName("aggressive")
+				res, err := runSingle(in, a)
+				if err != nil {
+					return nil, err
+				}
+				ratios = append(ratios, stats.Ratio(float64(res.Elapsed), float64(optRes.Elapsed)))
+			}
+			s := stats.Summarize(ratios)
+			t.AddRow(c.k, c.f, w.name, s.Mean, s.Max,
+				single.AggressiveUpperBound(c.k, c.f), single.CaoAggressiveBound(c.k, c.f))
+		}
+	}
+	return t, nil
+}
+
+// E4AggressiveLowerBound runs Aggressive on the Theorem 2 phase construction
+// and reports how its elapsed time compares with the optimal behaviour
+// (realised here by Conservative, which on this instance evicts only the
+// previous phase's blocks).  Expected shape: the measured ratio climbs with
+// the number of phases towards the Theorem 2 bound 1 + F/(k + (k-1)/(F-1))
+// and stays below the Theorem 1 upper bound.
+func E4AggressiveLowerBound() (*report.Table, error) {
+	t := report.NewTable("E4: Theorem 2 lower-bound construction",
+		"k", "F", "phases", "aggressive elapsed", "optimal elapsed", "ratio", "Thm2 bound", "Thm1 bound")
+	t.Note = "Expected: ratio climbs with phases towards (k+l+F)/(k+l+2), which tends to the Thm2 bound for large k and F."
+	type cfg struct{ k, f int }
+	for _, c := range []cfg{{7, 4}, {5, 3}, {9, 5}, {13, 5}} {
+		for _, phases := range []int{2, 6, 16} {
+			in, err := workload.AggressiveAdversary(c.k, c.f, phases)
+			if err != nil {
+				return nil, err
+			}
+			ag, _ := single.ByName("aggressive")
+			ares, err := runSingle(in, ag)
+			if err != nil {
+				return nil, err
+			}
+			cons, _ := single.ByName("conservative")
+			cres, err := runSingle(in, cons)
+			if err != nil {
+				return nil, err
+			}
+			ratio := stats.Ratio(float64(ares.Elapsed), float64(cres.Elapsed))
+			t.AddRow(c.k, c.f, phases, ares.Elapsed, cres.Elapsed, ratio,
+				single.AggressiveLowerBound(c.k, c.f), single.AggressiveUpperBound(c.k, c.f))
+		}
+	}
+	return t, nil
+}
+
+// E5DelaySweep sweeps the delay parameter d of Delay(d) and reports the
+// analytic Theorem 3 bound together with the measured worst-case ratio
+// against the exhaustive optimum on small workloads.  Expected shape: the
+// analytic bound has an interior minimum near d0 = floor((sqrt(3)-1)/2*F)
+// with value about sqrt(3) = 1.732, bridging Aggressive (d = 0, bound 2 when
+// F >= k) and Conservative-like behaviour for large d; measured ratios stay
+// below the bound for every d.
+func E5DelaySweep() (*report.Table, error) {
+	const k, f = 4, 6
+	t := report.NewTable(fmt.Sprintf("E5: Delay(d) sweep (k=%d, F=%d)", k, f),
+		"d", "Thm3 bound", "mean ratio", "max ratio")
+	t.Note = fmt.Sprintf("Expected: bound minimised near d0=%d at about sqrt(3)=1.732.", single.BestDelay(f))
+	gens := []func(seed int64) core.Sequence{
+		func(seed int64) core.Sequence { return workload.Uniform(20, 7, seed) },
+		func(seed int64) core.Sequence { return workload.Zipf(20, 7, 1.2, seed+100) },
+	}
+	// Precompute the optima once per instance.
+	type inst struct {
+		in  *core.Instance
+		opt int
+	}
+	var instances []inst
+	for _, g := range gens {
+		for seed := int64(0); seed < 2; seed++ {
+			in := core.SingleDisk(g(seed), k, f)
+			o, err := opt.Optimal(in, opt.Options{})
+			if err != nil {
+				return nil, err
+			}
+			instances = append(instances, inst{in: in, opt: o.Elapsed})
+		}
+	}
+	for d := 0; d <= 2*f; d++ {
+		var ratios []float64
+		for _, it := range instances {
+			sched, err := single.Delay(it.in, d)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(it.in, sched, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, stats.Ratio(float64(res.Elapsed), float64(it.opt)))
+		}
+		s := stats.Summarize(ratios)
+		t.AddRow(d, single.DelayUpperBound(d, f), s.Mean, s.Max)
+	}
+	return t, nil
+}
+
+// E6Combination compares Aggressive, Conservative, Delay(d0), Combination and
+// the demand baseline head to head against the exhaustive optimum.  Expected
+// shape: Combination is never worse than both Aggressive and Conservative on
+// the same instance family (Corollary 2), and every prefetching algorithm
+// beats the demand baseline.
+func E6Combination() (*report.Table, error) {
+	t := report.NewTable("E6: head-to-head comparison (elapsed-time ratio to optimal)",
+		"workload", "k", "F", "aggressive", "conservative", "delay:auto", "combination", "demand-min")
+	t.Note = "Expected: combination <= max(aggressive, conservative); demand worst."
+	type cfg struct {
+		name string
+		k, f int
+		gen  func(seed int64) core.Sequence
+	}
+	configs := []cfg{
+		{"uniform", 4, 3, func(seed int64) core.Sequence { return workload.Uniform(20, 8, seed) }},
+		{"zipf", 4, 5, func(seed int64) core.Sequence { return workload.Zipf(20, 8, 1.2, seed) }},
+		{"loop", 3, 4, func(seed int64) core.Sequence { return workload.Loop(6, 3) }},
+		{"phased", 4, 4, func(seed int64) core.Sequence { return workload.Phased(2, 10, 5, 2, seed) }},
+	}
+	algoNames := []string{"aggressive", "conservative", "delay:auto", "combination", "demand-min"}
+	for _, c := range configs {
+		means := make(map[string][]float64)
+		for seed := int64(0); seed < 3; seed++ {
+			in := core.SingleDisk(c.gen(seed), c.k, c.f)
+			optRes, err := opt.Optimal(in, opt.Options{})
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range algoNames {
+				a, err := single.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runSingle(in, a)
+				if err != nil {
+					return nil, err
+				}
+				means[name] = append(means[name], stats.Ratio(float64(res.Elapsed), float64(optRes.Elapsed)))
+			}
+		}
+		row := []interface{}{c.name, c.k, c.f}
+		for _, name := range algoNames {
+			row = append(row, stats.Summarize(means[name]).Mean)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// A2EvictionAblation removes the two ingredients of the integrated algorithms
+// one at a time: prefetching (demand paging with MIN replacement) and the
+// optimal replacement rule (demand paging with LRU/FIFO replacement), and
+// compares them with Aggressive on the same workloads.  Expected shape:
+// integrated prefetching+MIN < demand+MIN < demand+LRU/FIFO in elapsed time.
+func A2EvictionAblation() (*report.Table, error) {
+	t := report.NewTable("A2: ablation - value of prefetching and of the eviction rule",
+		"workload", "aggressive", "demand-min", "demand-lru", "demand-fifo")
+	t.Note = "Mean elapsed time; expected ordering: aggressive < demand-min < demand-lru/fifo."
+	type cfg struct {
+		name string
+		gen  func(seed int64) core.Sequence
+	}
+	configs := []cfg{
+		{"uniform", func(seed int64) core.Sequence { return workload.Uniform(300, 24, seed) }},
+		{"zipf", func(seed int64) core.Sequence { return workload.Zipf(300, 24, 1.1, seed) }},
+		{"loop", func(seed int64) core.Sequence { return workload.Loop(10, 30) }},
+	}
+	for _, c := range configs {
+		sums := map[string][]float64{}
+		for seed := int64(0); seed < 3; seed++ {
+			in := core.SingleDisk(c.gen(seed), 8, 4)
+			for _, name := range []string{"aggressive", "demand-min", "demand-lru", "demand-fifo"} {
+				a, err := single.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runSingle(in, a)
+				if err != nil {
+					return nil, err
+				}
+				sums[name] = append(sums[name], float64(res.Elapsed))
+			}
+		}
+		t.AddRow(c.name,
+			stats.Summarize(sums["aggressive"]).Mean,
+			stats.Summarize(sums["demand-min"]).Mean,
+			stats.Summarize(sums["demand-lru"]).Mean,
+			stats.Summarize(sums["demand-fifo"]).Mean)
+	}
+	return t, nil
+}

@@ -1,0 +1,22 @@
+// Package lp is a small linear-programming solver built for the
+// prefetching/caching linear programs of Section 3 of the paper.
+//
+// The paper's parallel-disk algorithm needs "an optimal solution of the
+// relaxed linear program", which it treats as a black box.  Because this
+// repository uses only the Go standard library, the solver is implemented
+// here from scratch: a dense two-phase primal simplex method over problems of
+// the form
+//
+//	minimize    c'x
+//	subject to  a_i'x {<=,=,>=} b_i     for every constraint i
+//	            x >= 0
+//
+// Phase one minimises the sum of artificial variables to find a basic
+// feasible solution (detecting infeasibility), phase two optimises the real
+// objective (detecting unboundedness).  Pivoting uses Dantzig's rule with an
+// automatic switch to Bland's rule when the objective stalls, which
+// guarantees termination on degenerate problems.  Numbers are float64 with
+// explicit tolerances; the prefetching LPs are small and well scaled, and the
+// experiment harness cross-checks the LP results against an exhaustive
+// search, so this precision is sufficient.
+package lp

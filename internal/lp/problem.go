@@ -1,0 +1,171 @@
+package lp
+
+import "fmt"
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	// LE is a "less than or equal" constraint.
+	LE Sense = iota
+	// EQ is an equality constraint.
+	EQ
+	// GE is a "greater than or equal" constraint.
+	GE
+)
+
+// String renders the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("sense(%d)", int(s))
+	}
+}
+
+// Coef is one nonzero coefficient of a constraint: Value times variable Var.
+type Coef struct {
+	Var   int
+	Value float64
+}
+
+// Constraint is a single linear constraint over the problem variables.
+type Constraint struct {
+	Coeffs []Coef
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program in minimisation form with non-negative
+// variables.
+type Problem struct {
+	numVars   int
+	objective []float64
+	cons      []Constraint
+}
+
+// NewProblem creates a problem with the given number of non-negative
+// variables, all with objective coefficient zero.
+func NewProblem(numVars int) *Problem {
+	if numVars < 0 {
+		panic(fmt.Sprintf("lp: negative variable count %d", numVars))
+	}
+	return &Problem{
+		numVars:   numVars,
+		objective: make([]float64, numVars),
+	}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraints.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVariable appends a new variable with the given objective coefficient and
+// returns its index.
+func (p *Problem) AddVariable(objective float64) int {
+	p.objective = append(p.objective, objective)
+	p.numVars++
+	return p.numVars - 1
+}
+
+// SetObjective sets the objective coefficient of variable v.
+func (p *Problem) SetObjective(v int, c float64) {
+	p.checkVar(v)
+	p.objective[v] = c
+}
+
+// Objective returns the objective coefficient of variable v.
+func (p *Problem) Objective(v int) float64 {
+	p.checkVar(v)
+	return p.objective[v]
+}
+
+// AddConstraint adds the constraint sum_i coeffs_i {sense} rhs and returns
+// its index.  Coefficients referring to the same variable are summed.
+func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
+	merged := make(map[int]float64, len(coeffs))
+	for _, c := range coeffs {
+		p.checkVar(c.Var)
+		merged[c.Var] += c.Value
+	}
+	out := make([]Coef, 0, len(merged))
+	for v, val := range merged {
+		if val != 0 {
+			out = append(out, Coef{Var: v, Value: val})
+		}
+	}
+	p.cons = append(p.cons, Constraint{Coeffs: out, Sense: sense, RHS: rhs})
+	return len(p.cons) - 1
+}
+
+// Constraint returns the i-th constraint.
+func (p *Problem) Constraint(i int) Constraint {
+	return p.cons[i]
+}
+
+func (p *Problem) checkVar(v int) {
+	if v < 0 || v >= p.numVars {
+		panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", v, p.numVars))
+	}
+}
+
+// Value evaluates the objective at x.
+func (p *Problem) Value(x []float64) float64 {
+	total := 0.0
+	for i := 0; i < p.numVars && i < len(x); i++ {
+		total += p.objective[i] * x[i]
+	}
+	return total
+}
+
+// Violation returns the largest constraint violation of x (0 when feasible)
+// together with the index of the most violated constraint (-1 when feasible).
+// Negative variable values also count as violations, reported with constraint
+// index -1.
+func (p *Problem) Violation(x []float64) (float64, int) {
+	worst := 0.0
+	worstIdx := -1
+	for i := 0; i < p.numVars; i++ {
+		v := 0.0
+		if i < len(x) {
+			v = x[i]
+		}
+		if -v > worst {
+			worst = -v
+			worstIdx = -1
+		}
+	}
+	for ci, c := range p.cons {
+		lhs := 0.0
+		for _, co := range c.Coeffs {
+			if co.Var < len(x) {
+				lhs += co.Value * x[co.Var]
+			}
+		}
+		var viol float64
+		switch c.Sense {
+		case LE:
+			viol = lhs - c.RHS
+		case GE:
+			viol = c.RHS - lhs
+		case EQ:
+			viol = lhs - c.RHS
+			if viol < 0 {
+				viol = -viol
+			}
+		}
+		if viol > worst {
+			worst = viol
+			worstIdx = ci
+		}
+	}
+	return worst, worstIdx
+}

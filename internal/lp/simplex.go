@@ -1,0 +1,393 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraints have no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded below.
+	StatusUnbounded
+	// StatusIterLimit means the iteration budget was exhausted.
+	StatusIterLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIterations caps the total number of simplex pivots (0 means an
+	// automatic limit based on the problem size).
+	MaxIterations int
+	// Tolerance is the feasibility/optimality tolerance (0 means 1e-9).
+	Tolerance float64
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	// Status reports how the solve ended.
+	Status Status
+	// X is the value of every problem variable (valid when Status is
+	// StatusOptimal).
+	X []float64
+	// Objective is the objective value of X.
+	Objective float64
+	// Iterations is the number of simplex pivots performed.
+	Iterations int
+}
+
+const defaultTolerance = 1e-9
+
+// Solve runs the two-phase primal simplex method on the problem.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = defaultTolerance
+	}
+	t := newTableau(p, tol)
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 200 * (t.cols + t.rows)
+		if maxIter < 20000 {
+			maxIter = 20000
+		}
+	}
+
+	// Phase one: minimise the sum of artificial variables.
+	if t.numArtificial > 0 {
+		status := t.optimize(t.phase1Costs(), maxIter)
+		if status == StatusIterLimit {
+			return &Solution{Status: StatusIterLimit, Iterations: t.iterations}, nil
+		}
+		if t.objectiveValue(t.phase1Costs()) > tol*float64(1+t.rows) {
+			return &Solution{Status: StatusInfeasible, Iterations: t.iterations}, nil
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase two: minimise the real objective.
+	status := t.optimize(t.phase2Costs(), maxIter)
+	switch status {
+	case StatusIterLimit, StatusUnbounded:
+		return &Solution{Status: status, Iterations: t.iterations}, nil
+	}
+	x := t.extract()
+	return &Solution{
+		Status:     StatusOptimal,
+		X:          x,
+		Objective:  p.Value(x),
+		Iterations: t.iterations,
+	}, nil
+}
+
+// tableau is the dense simplex tableau.  Columns are: the problem variables,
+// then slack/surplus variables, then artificial variables; the final column
+// is the right-hand side.
+type tableau struct {
+	p   *Problem
+	tol float64
+
+	rows int // number of constraints
+	cols int // number of structural columns (vars + slacks + artificials)
+
+	numVars       int
+	numSlack      int
+	numArtificial int
+
+	a     [][]float64 // rows x (cols+1); a[i][cols] is the RHS
+	basis []int       // basis[i] is the column basic in row i
+
+	iterations int
+	artCol     map[int]bool // columns that are artificial
+}
+
+func newTableau(p *Problem, tol float64) *tableau {
+	rows := p.NumConstraints()
+	t := &tableau{
+		p:       p,
+		tol:     tol,
+		rows:    rows,
+		numVars: p.NumVars(),
+		artCol:  make(map[int]bool),
+	}
+	// Count slacks and artificials.
+	type rowPlan struct {
+		slackSign  float64 // +1 for LE, -1 for GE, 0 for EQ (after RHS sign fix)
+		artificial bool
+	}
+	plans := make([]rowPlan, rows)
+	for i := 0; i < rows; i++ {
+		c := p.Constraint(i)
+		sense := c.Sense
+		flip := c.RHS < 0
+		if flip {
+			// Multiply the row by -1 so the RHS becomes non-negative.
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			plans[i] = rowPlan{slackSign: 1, artificial: false}
+			t.numSlack++
+		case GE:
+			plans[i] = rowPlan{slackSign: -1, artificial: true}
+			t.numSlack++
+			t.numArtificial++
+		case EQ:
+			plans[i] = rowPlan{slackSign: 0, artificial: true}
+			t.numArtificial++
+		}
+	}
+	t.cols = t.numVars + t.numSlack + t.numArtificial
+	t.a = make([][]float64, rows)
+	t.basis = make([]int, rows)
+
+	slackIdx := t.numVars
+	artIdx := t.numVars + t.numSlack
+	for i := 0; i < rows; i++ {
+		row := make([]float64, t.cols+1)
+		c := p.Constraint(i)
+		sign := 1.0
+		if c.RHS < 0 {
+			sign = -1.0
+		}
+		for _, co := range c.Coeffs {
+			row[co.Var] += sign * co.Value
+		}
+		row[t.cols] = sign * c.RHS
+		if plans[i].slackSign != 0 {
+			row[slackIdx] = plans[i].slackSign
+			if plans[i].slackSign > 0 && !plans[i].artificial {
+				t.basis[i] = slackIdx
+			}
+			slackIdx++
+		}
+		if plans[i].artificial {
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			t.artCol[artIdx] = true
+			artIdx++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+// phase1Costs returns the phase-one cost vector: 1 for artificial columns.
+func (t *tableau) phase1Costs() []float64 {
+	costs := make([]float64, t.cols)
+	for c := range t.artCol {
+		costs[c] = 1
+	}
+	return costs
+}
+
+// phase2Costs returns the real objective over structural columns (artificial
+// columns get a prohibitively large cost so they stay out of the basis).
+func (t *tableau) phase2Costs() []float64 {
+	costs := make([]float64, t.cols)
+	for v := 0; v < t.numVars; v++ {
+		costs[v] = t.p.Objective(v)
+	}
+	for c := range t.artCol {
+		costs[c] = 0 // artificials are fixed at zero after phase one
+	}
+	return costs
+}
+
+// objectiveValue evaluates the given cost vector at the current basic
+// solution.
+func (t *tableau) objectiveValue(costs []float64) float64 {
+	total := 0.0
+	for i := 0; i < t.rows; i++ {
+		total += costs[t.basis[i]] * t.a[i][t.cols]
+	}
+	return total
+}
+
+// reducedCosts computes the reduced cost of every column for the given cost
+// vector.
+func (t *tableau) reducedCosts(costs []float64) []float64 {
+	// y = c_B B^{-1} is implicit: because the tableau rows are kept in
+	// B^{-1}A form, the reduced cost of column j is c_j - sum_i c_{B(i)} a_ij.
+	rc := make([]float64, t.cols)
+	copy(rc, costs)
+	for i := 0; i < t.rows; i++ {
+		cb := costs[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			if row[j] != 0 {
+				rc[j] -= cb * row[j]
+			}
+		}
+	}
+	return rc
+}
+
+// optimize runs simplex pivots for the given cost vector until optimality,
+// unboundedness or the iteration limit.  It uses Dantzig pricing and switches
+// to Bland's rule after a run of degenerate pivots to guarantee termination.
+func (t *tableau) optimize(costs []float64, maxIter int) Status {
+	degenerate := 0
+	const degenerateSwitch = 50
+	lastObj := t.objectiveValue(costs)
+	for {
+		if t.iterations >= maxIter {
+			return StatusIterLimit
+		}
+		rc := t.reducedCosts(costs)
+		useBland := degenerate >= degenerateSwitch
+		enter := -1
+		if useBland {
+			for j := 0; j < t.cols; j++ {
+				if rc[j] < -t.tol && !t.blockedColumn(costs, j) {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -t.tol
+			for j := 0; j < t.cols; j++ {
+				if rc[j] < best && !t.blockedColumn(costs, j) {
+					best = rc[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return StatusOptimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.rows; i++ {
+			aij := t.a[i][enter]
+			if aij <= t.tol {
+				continue
+			}
+			ratio := t.a[i][t.cols] / aij
+			if ratio < bestRatio-t.tol || (math.Abs(ratio-bestRatio) <= t.tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return StatusUnbounded
+		}
+		t.pivot(leave, enter)
+		t.iterations++
+		obj := t.objectiveValue(costs)
+		if obj >= lastObj-t.tol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		lastObj = obj
+	}
+}
+
+// blockedColumn reports whether column j must not enter the basis: artificial
+// columns are blocked in phase two.
+func (t *tableau) blockedColumn(costs []float64, j int) bool {
+	if !t.artCol[j] {
+		return false
+	}
+	// During phase one artificials carry cost 1; in phase two they carry cost
+	// 0 and are blocked.
+	return costs[j] == 0
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	piv := t.a[row][col]
+	r := t.a[row]
+	inv := 1.0 / piv
+	for j := 0; j <= t.cols; j++ {
+		r[j] *= inv
+	}
+	for i := 0; i < t.rows; i++ {
+		if i == row {
+			continue
+		}
+		factor := t.a[i][col]
+		if factor == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.cols; j++ {
+			ri[j] -= factor * r[j]
+		}
+		ri[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials removes artificial variables from the basis after phase
+// one, pivoting on any usable structural column, or dropping the row when it
+// has become redundant.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.rows; i++ {
+		if !t.artCol[t.basis[i]] {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.numVars+t.numSlack; j++ {
+			if math.Abs(t.a[i][j]) > t.tol {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// The row is all zeros over structural columns: the constraint is
+			// redundant; keep the artificial basic at value zero.  Zero the
+			// RHS to guard against accumulated round-off.
+			t.a[i][t.cols] = 0
+		}
+	}
+}
+
+// extract reads the current basic solution restricted to problem variables.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.numVars)
+	for i := 0; i < t.rows; i++ {
+		b := t.basis[i]
+		if b < t.numVars {
+			v := t.a[i][t.cols]
+			if v < 0 && v > -t.tol {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

@@ -1,0 +1,210 @@
+package lpmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfcache/internal/core"
+	"pfcache/internal/lp"
+	"pfcache/internal/opt"
+	"pfcache/internal/sim"
+	"pfcache/internal/workload"
+)
+
+func introInstance() *core.Instance {
+	seq := core.Sequence{0, 1, 2, 3, 3, 4, 0, 3, 3, 1}
+	return core.SingleDisk(seq, 4, 4).WithInitialCache(0, 1, 2, 3)
+}
+
+func introParallelInstance() *core.Instance {
+	seq := core.Sequence{0, 1, 4, 5, 2, 6, 3}
+	diskOf := map[core.BlockID]int{0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1}
+	return core.MultiDisk(seq, 4, 4, 2, diskOf).WithInitialCache(0, 1, 4, 5)
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Start: 2, End: 5}
+	if iv.Length() != 2 {
+		t.Errorf("Length = %d, want 2", iv.Length())
+	}
+	if iv.Stall(4) != 2 {
+		t.Errorf("Stall = %d, want 2", iv.Stall(4))
+	}
+	if !iv.ContainsRequest(3) || !iv.ContainsRequest(4) || iv.ContainsRequest(2) || iv.ContainsRequest(5) {
+		t.Errorf("ContainsRequest wrong for %v", iv)
+	}
+	if iv.String() != "(2,5)" {
+		t.Errorf("String = %q", iv.String())
+	}
+}
+
+func TestBuildBasicStructure(t *testing.T) {
+	in := introParallelInstance()
+	m, err := Build(in)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Dummy blocks fill the cache from 4 to k + D - 1 = 5 locations.
+	if len(m.Dummies) != 1 {
+		t.Fatalf("dummies = %d, want 1", len(m.Dummies))
+	}
+	// Interval count: for each start i in [0,n-1], ends i+1..min(n, i+F+1).
+	n, f := in.N(), in.F
+	want := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= n && j-i-1 <= f; j++ {
+			want++
+		}
+	}
+	if len(m.Intervals) != want {
+		t.Fatalf("intervals = %d, want %d", len(m.Intervals), want)
+	}
+	x, fv, ev := m.VariableCounts()
+	if x != len(m.Intervals) || fv == 0 || ev != fv {
+		t.Fatalf("variable counts x=%d f=%d e=%d", x, fv, ev)
+	}
+	if m.Problem.NumConstraints() == 0 {
+		t.Fatalf("no constraints generated")
+	}
+	// Dummy blocks live on disk 0.
+	if m.blockDisk(m.Dummies[0]) != 0 {
+		t.Fatalf("dummy on disk %d, want 0", m.blockDisk(m.Dummies[0]))
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(core.SingleDisk(core.Sequence{}, 2, 2)); err == nil {
+		t.Errorf("empty sequence accepted")
+	}
+	if _, err := Build(core.SingleDisk(core.Sequence{0}, 0, 2)); err == nil {
+		t.Errorf("invalid instance accepted")
+	}
+	if _, err := Plan(core.SingleDisk(core.Sequence{0}, 0, 2), lp.Options{}); err == nil {
+		t.Errorf("Plan accepted an invalid instance")
+	}
+	if _, err := LowerBound(core.SingleDisk(core.Sequence{0}, 0, 2), lp.Options{}); err == nil {
+		t.Errorf("LowerBound accepted an invalid instance")
+	}
+}
+
+// TestLowerBoundMatchesOptimalIntro checks that the LP relaxation value
+// equals the true optimal stall time on the two worked examples of the paper.
+func TestLowerBoundMatchesOptimalIntro(t *testing.T) {
+	lb, err := LowerBound(introInstance(), lp.Options{})
+	if err != nil {
+		t.Fatalf("LowerBound(single): %v", err)
+	}
+	if math.Abs(lb-1) > 1e-6 {
+		t.Fatalf("single-disk intro lower bound = %f, want 1", lb)
+	}
+	lb, err = LowerBound(introParallelInstance(), lp.Options{})
+	if err != nil {
+		t.Fatalf("LowerBound(parallel): %v", err)
+	}
+	if lb > 3+1e-6 {
+		t.Fatalf("parallel intro lower bound = %f, want at most 3", lb)
+	}
+	if lb < 2-1e-6 {
+		t.Fatalf("parallel intro lower bound = %f, implausibly small", lb)
+	}
+}
+
+// TestPlanIntroExamples checks the full pipeline on the worked examples: the
+// extracted schedule must match the optimal stall time and stay within the
+// Theorem 4 extra-cache budget.
+func TestPlanIntroExamples(t *testing.T) {
+	res, err := Plan(introInstance(), lp.Options{})
+	if err != nil {
+		t.Fatalf("Plan(single): %v", err)
+	}
+	if res.Stall != 1 {
+		t.Fatalf("single-disk intro stall = %d, want 1\n%v", res.Stall, res.Schedule)
+	}
+	if res.ExtraCache > 0 {
+		t.Fatalf("single-disk intro used %d extra locations, want 0", res.ExtraCache)
+	}
+	pres, err := Plan(introParallelInstance(), lp.Options{})
+	if err != nil {
+		t.Fatalf("Plan(parallel): %v", err)
+	}
+	if pres.Stall > 3 {
+		t.Fatalf("parallel intro stall = %d, want at most 3\n%v", pres.Stall, pres.Schedule)
+	}
+	if pres.ExtraCache > 2 {
+		t.Fatalf("parallel intro used %d extra locations, want at most 2(D-1)=2", pres.ExtraCache)
+	}
+}
+
+// TestTheorem4OnRandomInstances is the central Theorem 4 reproduction test:
+// on random small multi-disk instances the LP lower bound must not exceed the
+// exhaustive optimum, and the extracted schedule must achieve stall time at
+// most the exhaustive optimum while using at most 2(D-1) extra locations.
+func TestTheorem4OnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trials := 0
+	for trials < 18 {
+		n := 6 + rng.Intn(5)
+		blocks := 4 + rng.Intn(3)
+		k := 2 + rng.Intn(2)
+		f := 1 + rng.Intn(3)
+		disks := 1 + rng.Intn(3)
+		seq := workload.Uniform(n, blocks, int64(1000+trials))
+		in := workload.Instance(seq, k, f, disks, workload.AssignStripe, 0)
+		optRes, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			t.Fatalf("opt: %v", err)
+		}
+		res, err := Plan(in, lp.Options{})
+		if err != nil {
+			t.Fatalf("Plan: %v (seq=%v k=%d F=%d D=%d)", err, seq, k, f, disks)
+		}
+		trials++
+		if res.LowerBound > float64(optRes.Stall)+1e-6 {
+			t.Fatalf("LP lower bound %.4f exceeds optimal stall %d (seq=%v k=%d F=%d D=%d)",
+				res.LowerBound, optRes.Stall, seq, k, f, disks)
+		}
+		if res.Stall > optRes.Stall {
+			t.Errorf("extracted stall %d exceeds optimal stall %d (lower bound %.3f, integral=%v, seq=%v k=%d F=%d D=%d)",
+				res.Stall, optRes.Stall, res.LowerBound, res.Integral, seq, k, f, disks)
+		}
+		if res.ExtraCache > 2*(disks-1) {
+			t.Errorf("extracted schedule uses %d extra locations, budget 2(D-1)=%d (seq=%v k=%d F=%d D=%d)",
+				res.ExtraCache, 2*(disks-1), seq, k, f, disks)
+		}
+		// The schedule must of course be executable on the real instance.
+		if _, err := sim.Run(in, res.Schedule, sim.Options{}); err != nil {
+			t.Fatalf("extracted schedule infeasible: %v", err)
+		}
+	}
+}
+
+// TestPlanSingleDiskMatchesOptimal checks that with D = 1 the pipeline
+// reproduces the polynomial-time optimality result of Albers, Garg and
+// Leonardi: stall equal to OPT with no extra cache locations.
+func TestPlanSingleDiskMatchesOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(6)
+		blocks := 4 + rng.Intn(3)
+		k := 2 + rng.Intn(2)
+		f := 2 + rng.Intn(2)
+		seq := workload.Uniform(n, blocks, int64(trial))
+		in := core.SingleDisk(seq, k, f)
+		optStall, err := opt.OptimalStall(in, opt.Options{})
+		if err != nil {
+			t.Fatalf("opt: %v", err)
+		}
+		res, err := Plan(in, lp.Options{})
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+		if res.Stall != optStall {
+			t.Errorf("trial %d: LP schedule stall %d != optimal %d (lower bound %.3f, seq=%v k=%d F=%d)",
+				trial, res.Stall, optStall, res.LowerBound, seq, k, f)
+		}
+		if res.ExtraCache != 0 {
+			t.Errorf("trial %d: single-disk schedule used %d extra locations", trial, res.ExtraCache)
+		}
+	}
+}

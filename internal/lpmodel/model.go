@@ -1,0 +1,362 @@
+package lpmodel
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+	"pfcache/internal/lp"
+)
+
+// Interval is a fetch interval (i, j) in the paper's notation: a fetch that
+// starts after request r_i and completes before request r_j, overlapping the
+// service of the j-i-1 requests in between.  Start and End use the paper's
+// 1-based request numbers, so Start ranges over 0..n-1 and End over 1..n with
+// Start < End and End-Start-1 <= F.
+type Interval struct {
+	Start int
+	End   int
+}
+
+// Length is the number of requests served during the fetch, |I| = End-Start-1.
+func (iv Interval) Length() int { return iv.End - iv.Start - 1 }
+
+// Stall is the stall time charged at the end of the interval, F - |I|.
+func (iv Interval) Stall(f int) int { return f - iv.Length() }
+
+// ContainsRequest reports whether the 1-based request number q lies strictly
+// inside the interval.
+func (iv Interval) ContainsRequest(q int) bool { return iv.Start < q && q < iv.End }
+
+// String renders the interval.
+func (iv Interval) String() string { return fmt.Sprintf("(%d,%d)", iv.Start, iv.End) }
+
+// varKey identifies a fetch or eviction variable.
+type varKey struct {
+	interval int
+	block    core.BlockID
+}
+
+// Model is the synchronized-schedule linear program for one instance.
+type Model struct {
+	// In is the original instance.
+	In *core.Instance
+	// Intervals enumerates every candidate fetch interval.
+	Intervals []Interval
+	// Dummies are the never-requested blocks added (on disk 0) to fill the
+	// initial cache to k+D-1 locations, as in the paper's S_init.
+	Dummies []core.BlockID
+	// Blocks is every block of the program: the instance's blocks plus the
+	// dummies.
+	Blocks []core.BlockID
+	// Problem is the LP relaxation.
+	Problem *lp.Problem
+
+	xVar map[int]int    // interval index -> variable
+	fVar map[varKey]int // (interval, block) -> fetch variable
+	eVar map[varKey]int // (interval, block) -> eviction variable
+	sVar map[[2]int]int // (interval, disk) -> scratch fetch variable
+
+	ix      *core.Index
+	initial map[core.BlockID]bool
+}
+
+// Fractional is an optimal solution of the LP relaxation.
+type Fractional struct {
+	// X is the value of x(I) for every interval (indexed like Model.Intervals).
+	X []float64
+	// Objective is the optimal objective value: a lower bound on the optimal
+	// stall time sOPT(sigma, k).
+	Objective float64
+	// Iterations is the number of simplex pivots used.
+	Iterations int
+	// Integral reports whether every x(I) is within tolerance of 0 or 1.
+	Integral bool
+}
+
+// Build constructs the linear program of Section 3 for the instance.
+func Build(in *core.Instance) (*Model, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.N()
+	if n == 0 {
+		return nil, fmt.Errorf("lpmodel: empty request sequence")
+	}
+	m := &Model{
+		In:      in,
+		xVar:    make(map[int]int),
+		fVar:    make(map[varKey]int),
+		eVar:    make(map[varKey]int),
+		sVar:    make(map[[2]int]int),
+		ix:      core.NewIndex(in.Seq),
+		initial: make(map[core.BlockID]bool),
+	}
+	for _, b := range in.InitialCache {
+		m.initial[b] = true
+	}
+
+	// Dummy blocks on disk 0 fill the initial cache to k + D - 1 locations.
+	nextID := in.Seq.MaxBlock() + 1
+	for _, b := range in.InitialCache {
+		if b >= nextID {
+			nextID = b + 1
+		}
+	}
+	need := in.K + in.Disks - 1 - len(in.InitialCache)
+	for i := 0; i < need; i++ {
+		d := nextID + core.BlockID(i)
+		m.Dummies = append(m.Dummies, d)
+		m.initial[d] = true
+	}
+	m.Blocks = append(m.Blocks, in.Blocks()...)
+	m.Blocks = append(m.Blocks, m.Dummies...)
+
+	// Enumerate intervals: Start in [0, n-1], End in [Start+1, min(n, Start+F+1)].
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= n && j-i-1 <= in.F; j++ {
+			m.Intervals = append(m.Intervals, Interval{Start: i, End: j})
+		}
+	}
+
+	prob := lp.NewProblem(0)
+	m.Problem = prob
+	for idx, iv := range m.Intervals {
+		m.xVar[idx] = prob.AddVariable(float64(iv.Stall(in.F)))
+	}
+	// Fetch and eviction variables exist only for (interval, block) pairs
+	// where the block is not referenced strictly inside the interval (the
+	// paper's constraint that a block may not be fetched or evicted while it
+	// is being referenced).
+	for idx, iv := range m.Intervals {
+		for _, b := range m.Blocks {
+			if m.blockReferencedInside(b, iv) {
+				continue
+			}
+			m.fVar[varKey{idx, b}] = prob.AddVariable(0)
+			m.eVar[varKey{idx, b}] = prob.AddVariable(0)
+		}
+	}
+	// Scratch variables implement the idle-disk fetches of Lemma 3: a disk
+	// that has nothing useful to fetch during a synchronized interval loads
+	// an arbitrary block into an extra cache location and discards it when
+	// the interval ends.  A scratch fetch therefore counts towards the
+	// disk's fetch balance but needs no eviction and affects no block's
+	// presence constraints.
+	for idx := range m.Intervals {
+		for d := 0; d < in.Disks; d++ {
+			m.sVar[[2]int{idx, d}] = prob.AddVariable(0)
+		}
+	}
+
+	m.addBoundaryConstraints()
+	m.addPerIntervalConstraints()
+	m.addBlockFlowConstraints()
+	return m, nil
+}
+
+// blockDisk returns the disk a block resides on; dummy blocks live on disk 0.
+func (m *Model) blockDisk(b core.BlockID) int {
+	for _, d := range m.Dummies {
+		if d == b {
+			return 0
+		}
+	}
+	return m.In.Disk(b)
+}
+
+// blockReferencedInside reports whether block b has a reference strictly
+// inside interval iv.
+func (m *Model) blockReferencedInside(b core.BlockID, iv Interval) bool {
+	// References use 1-based request numbers: position p is request p+1.
+	pos := m.ix.NextAt(b, iv.Start) // first reference at 0-based position >= Start
+	if pos == core.NoRef {
+		return false
+	}
+	q := pos + 1
+	return iv.ContainsRequest(q)
+}
+
+// addBoundaryConstraints adds, for every request boundary q in [1, n-1], the
+// constraint that at most one interval spans it.
+func (m *Model) addBoundaryConstraints() {
+	n := m.In.N()
+	for q := 1; q <= n-1; q++ {
+		var coeffs []lp.Coef
+		for idx, iv := range m.Intervals {
+			if iv.Start <= q-1 && iv.End >= q+1 {
+				coeffs = append(coeffs, lp.Coef{Var: m.xVar[idx], Value: 1})
+			}
+		}
+		if len(coeffs) > 0 {
+			m.Problem.AddConstraint(coeffs, lp.LE, 1)
+		}
+	}
+}
+
+// addPerIntervalConstraints adds, for every interval, the per-disk fetch
+// balance (every disk fetches exactly x(I)) and the fetch/evict balance.
+func (m *Model) addPerIntervalConstraints() {
+	for idx := range m.Intervals {
+		x := m.xVar[idx]
+		for d := 0; d < m.In.Disks; d++ {
+			coeffs := []lp.Coef{{Var: x, Value: -1}, {Var: m.sVar[[2]int{idx, d}], Value: 1}}
+			for _, b := range m.Blocks {
+				if m.blockDisk(b) != d {
+					continue
+				}
+				if v, ok := m.fVar[varKey{idx, b}]; ok {
+					coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
+				}
+			}
+			m.Problem.AddConstraint(coeffs, lp.EQ, 0)
+		}
+		var coeffs []lp.Coef
+		for _, b := range m.Blocks {
+			if v, ok := m.fVar[varKey{idx, b}]; ok {
+				coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
+			}
+			if v, ok := m.eVar[varKey{idx, b}]; ok {
+				coeffs = append(coeffs, lp.Coef{Var: v, Value: -1})
+			}
+		}
+		m.Problem.AddConstraint(coeffs, lp.EQ, 0)
+	}
+}
+
+// gapIntervals returns the indices of intervals fully contained in the open
+// request-number gap (lo, hi): Start >= lo and End <= hi.
+func (m *Model) gapIntervals(lo, hi int) []int {
+	var out []int
+	for idx, iv := range m.Intervals {
+		if iv.Start >= lo && iv.End <= hi {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// addBlockFlowConstraints adds the per-block presence constraints: a block
+// must be in cache whenever it is referenced, evictions between consecutive
+// references are matched by re-fetches, and initially cached blocks (real or
+// dummy) are evicted at most once before their next use.
+func (m *Model) addBlockFlowConstraints() {
+	n := m.In.N()
+	for _, b := range m.Blocks {
+		occ := m.ix.Occurrences(b)
+		if len(occ) == 0 {
+			// Never-referenced block (a dummy or an unused initial block):
+			// it may be evicted at most once over the whole sequence.
+			if !m.initial[b] {
+				continue
+			}
+			var coeffs []lp.Coef
+			for _, idx := range m.gapIntervals(0, n) {
+				if v, ok := m.eVar[varKey{idx, b}]; ok {
+					coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
+				}
+			}
+			if len(coeffs) > 0 {
+				m.Problem.AddConstraint(coeffs, lp.LE, 1)
+			}
+			continue
+		}
+		refs := make([]int, len(occ))
+		for i, p := range occ {
+			refs[i] = p + 1 // 1-based request numbers
+		}
+		first := refs[0]
+		if !m.initial[b] {
+			// The block must be fetched, and not evicted, before its first
+			// reference.
+			fc := []lp.Coef{}
+			ec := []lp.Coef{}
+			for _, idx := range m.gapIntervals(0, first) {
+				if v, ok := m.fVar[varKey{idx, b}]; ok {
+					fc = append(fc, lp.Coef{Var: v, Value: 1})
+				}
+				if v, ok := m.eVar[varKey{idx, b}]; ok {
+					ec = append(ec, lp.Coef{Var: v, Value: 1})
+				}
+			}
+			m.Problem.AddConstraint(fc, lp.EQ, 1)
+			if len(ec) > 0 {
+				m.Problem.AddConstraint(ec, lp.EQ, 0)
+			}
+		} else {
+			// Initially cached: within the gap before the first reference the
+			// block may be evicted and fetched back, at most once.
+			m.addGapBalance(b, 0, first)
+		}
+		for i := 0; i+1 < len(refs); i++ {
+			m.addGapBalance(b, refs[i], refs[i+1])
+		}
+		// After the last reference the block may be evicted at most once.
+		var coeffs []lp.Coef
+		for _, idx := range m.gapIntervals(refs[len(refs)-1], n) {
+			if v, ok := m.eVar[varKey{idx, b}]; ok {
+				coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
+			}
+		}
+		if len(coeffs) > 0 {
+			m.Problem.AddConstraint(coeffs, lp.LE, 1)
+		}
+	}
+}
+
+// addGapBalance adds, for block b and the gap (lo, hi) between two of its
+// references (or before its first reference when it starts in cache), the
+// constraints sum f = sum e and sum e <= 1 over intervals inside the gap.
+func (m *Model) addGapBalance(b core.BlockID, lo, hi int) {
+	var balance []lp.Coef
+	var evict []lp.Coef
+	for _, idx := range m.gapIntervals(lo, hi) {
+		if v, ok := m.fVar[varKey{idx, b}]; ok {
+			balance = append(balance, lp.Coef{Var: v, Value: 1})
+		}
+		if v, ok := m.eVar[varKey{idx, b}]; ok {
+			balance = append(balance, lp.Coef{Var: v, Value: -1})
+			evict = append(evict, lp.Coef{Var: v, Value: 1})
+		}
+	}
+	if len(balance) > 0 {
+		m.Problem.AddConstraint(balance, lp.EQ, 0)
+	}
+	if len(evict) > 0 {
+		m.Problem.AddConstraint(evict, lp.LE, 1)
+	}
+}
+
+// Solve solves the LP relaxation and returns the fractional solution.
+func (m *Model) Solve(opts lp.Options) (*Fractional, error) {
+	sol, err := lp.Solve(m.Problem, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("lpmodel: LP relaxation ended with status %v", sol.Status)
+	}
+	frac := &Fractional{
+		X:          make([]float64, len(m.Intervals)),
+		Objective:  sol.Objective,
+		Iterations: sol.Iterations,
+		Integral:   true,
+	}
+	const tol = 1e-6
+	for idx := range m.Intervals {
+		v := sol.X[m.xVar[idx]]
+		if v < tol {
+			v = 0
+		}
+		frac.X[idx] = v
+		if v > tol && v < 1-tol {
+			frac.Integral = false
+		}
+	}
+	return frac, nil
+}
+
+// VariableCounts reports the number of interval, fetch and eviction variables
+// in the program (useful for reporting and testing).
+func (m *Model) VariableCounts() (x, f, e int) {
+	return len(m.xVar), len(m.fVar), len(m.eVar)
+}

@@ -1,0 +1,28 @@
+// Package opt computes exactly optimal prefetching/caching schedules for
+// small instances by uniform-cost search over system states.
+//
+// The paper compares its algorithms against an information-theoretic optimum
+// OPT: the minimum stall time (equivalently elapsed time) over all feasible
+// schedules.  For single disks [Albers, Garg, Leonardi, JACM 2000] show OPT
+// is computable in polynomial time, and Section 3 of the paper extends this
+// to parallel disks at the cost of a little extra cache; both run through a
+// linear program (package lpmodel).  For the experiment harness we
+// additionally want a completely independent ground truth on small instances,
+// obtained here by exhaustive search.
+//
+// A search state consists of the cursor position, the set of resident blocks,
+// and, for every disk, the block currently being fetched together with its
+// remaining fetch time.  Transitions either initiate fetches on idle disks,
+// serve the next request (advancing every in-flight fetch by one time unit),
+// or stall until the earliest fetch completion (paying the stall as cost).
+// Dijkstra's algorithm over this graph yields the minimum total stall time.
+//
+// Two branching modes are provided.  The default pruned mode applies two
+// exchange arguments that are standard for this model (and are proved for
+// fractional solutions as properties (1) and (2) in Section 3 of the paper):
+// an optimal schedule may be assumed to fetch, on each disk, the missing
+// block with the earliest next reference, and to evict a block whose next
+// reference is furthest in the future.  The full mode branches over every
+// missing block and every eviction victim; the tests verify on small random
+// instances that both modes agree, supporting the pruning.
+package opt

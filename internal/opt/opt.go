@@ -1,0 +1,445 @@
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"pfcache/internal/core"
+)
+
+// maxDisks is the largest number of disks supported by the state encoding.
+const maxDisks = 8
+
+// maxBlocks is the largest number of distinct blocks supported (the resident
+// set is encoded as a 64-bit mask).
+const maxBlocks = 64
+
+// DefaultMaxStates is the default cap on the number of distinct states the
+// search may create before giving up.
+const DefaultMaxStates = 4_000_000
+
+// Options configures the exhaustive search.
+type Options struct {
+	// ExtraCache is the number of cache locations available beyond the
+	// instance's k.  The paper's sOPT(sigma, k) corresponds to ExtraCache = 0.
+	ExtraCache int
+	// Full enables full branching over every missing block and every eviction
+	// victim.  The default (pruned) branching fetches the earliest-referenced
+	// missing block per disk and evicts a furthest-referenced block, which is
+	// optimal by standard exchange arguments; Full exists to validate the
+	// pruning on small instances.
+	Full bool
+	// MaxStates caps the number of states (0 means DefaultMaxStates).
+	MaxStates int
+}
+
+// Result is the outcome of an exhaustive search.
+type Result struct {
+	// Stall is the minimum total stall time.
+	Stall int
+	// Elapsed is the minimum elapsed time (n + Stall).
+	Elapsed int
+	// Schedule is an optimal schedule realising Stall.
+	Schedule *core.Schedule
+	// StatesExpanded counts the states popped from the priority queue.
+	StatesExpanded int
+}
+
+// TooLargeError reports that the search exceeded its state budget.
+type TooLargeError struct {
+	States int
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("opt: exhaustive search exceeded %d states; the instance is too large", e.States)
+}
+
+// Optimal computes a minimum-stall schedule for the instance by uniform-cost
+// search.  It is exact but exponential in the worst case, so it is intended
+// for the small instances used to validate the approximation algorithms and
+// the linear-programming approach.
+func Optimal(in *core.Instance, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Disks > maxDisks {
+		return nil, fmt.Errorf("opt: at most %d disks supported, got %d", maxDisks, in.Disks)
+	}
+	blocks := in.Blocks()
+	if len(blocks) > maxBlocks {
+		return nil, fmt.Errorf("opt: at most %d distinct blocks supported, got %d", maxBlocks, len(blocks))
+	}
+	s := newSearcher(in, opts, blocks)
+	return s.run()
+}
+
+// OptimalStall returns only the minimum stall time.
+func OptimalStall(in *core.Instance, opts Options) (int, error) {
+	r, err := Optimal(in, opts)
+	if err != nil {
+		return 0, err
+	}
+	return r.Stall, nil
+}
+
+// stateKey identifies a search state: the cursor position, the resident set,
+// and for every disk the block being fetched (plus one) and its remaining
+// fetch time.
+type stateKey struct {
+	served  int32
+	cache   uint64
+	flights [maxDisks]uint16
+}
+
+// fetchAction records one fetch initiation on a transition, for schedule
+// reconstruction.
+type fetchAction struct {
+	disk   int
+	block  int // block index
+	victim int // block index, or -1 for a free location
+}
+
+// nodeInfo is the bookkeeping attached to each reached state.
+type nodeInfo struct {
+	cost      int
+	parent    stateKey
+	hasParent bool
+	anchor    int // requests served when the transition's fetches were initiated
+	fetches   []fetchAction
+}
+
+type searcher struct {
+	in     *core.Instance
+	opts   Options
+	ix     *core.Index
+	blocks []core.BlockID
+	idxOf  map[core.BlockID]int
+	diskOf []int // per block index
+	cap    int   // cache capacity including extra locations
+
+	nodes map[stateKey]*nodeInfo
+	queue *costQueue
+}
+
+func newSearcher(in *core.Instance, opts Options, blocks []core.BlockID) *searcher {
+	s := &searcher{
+		in:     in,
+		opts:   opts,
+		ix:     core.NewIndex(in.Seq),
+		blocks: blocks,
+		idxOf:  make(map[core.BlockID]int, len(blocks)),
+		diskOf: make([]int, len(blocks)),
+		cap:    in.K + opts.ExtraCache,
+		nodes:  make(map[stateKey]*nodeInfo),
+		queue:  &costQueue{},
+	}
+	for i, b := range blocks {
+		s.idxOf[b] = i
+		s.diskOf[i] = in.Disk(b)
+	}
+	return s
+}
+
+func (s *searcher) maxStates() int {
+	if s.opts.MaxStates > 0 {
+		return s.opts.MaxStates
+	}
+	return DefaultMaxStates
+}
+
+// flight encoding helpers.
+
+func flightOf(block, remaining int) uint16 { return uint16(block+1)<<8 | uint16(remaining) }
+
+func flightBlock(f uint16) int     { return int(f>>8) - 1 }
+func flightRemaining(f uint16) int { return int(f & 0xff) }
+
+func (s *searcher) initialKey() stateKey {
+	var key stateKey
+	for _, b := range s.in.InitialCache {
+		key.cache |= 1 << uint(s.idxOf[b])
+	}
+	return key
+}
+
+func (s *searcher) run() (*Result, error) {
+	start := s.initialKey()
+	s.nodes[start] = &nodeInfo{cost: 0}
+	heap.Push(s.queue, costItem{key: start, cost: 0})
+	n := s.in.N()
+	expanded := 0
+	for s.queue.Len() > 0 {
+		item := heap.Pop(s.queue).(costItem)
+		info := s.nodes[item.key]
+		if info == nil || item.cost > info.cost {
+			continue // stale queue entry
+		}
+		expanded++
+		if int(item.key.served) == n {
+			sched := s.reconstruct(item.key)
+			return &Result{
+				Stall:          info.cost,
+				Elapsed:        n + info.cost,
+				Schedule:       sched,
+				StatesExpanded: expanded,
+			}, nil
+		}
+		s.expand(item.key, info)
+		if len(s.nodes) > s.maxStates() {
+			return nil, &TooLargeError{States: s.maxStates()}
+		}
+	}
+	return nil, fmt.Errorf("opt: search exhausted without serving every request (internal error)")
+}
+
+// expand generates the successors of a state.
+func (s *searcher) expand(key stateKey, info *nodeInfo) {
+	// Enumerate fetch-initiation combinations over idle disks, then advance.
+	var combo []fetchAction
+	s.enumerate(key, 0, key.cache, s.inFlightMask(key), combo, func(fetches []fetchAction, cache uint64, flights [maxDisks]uint16) {
+		s.advance(key, info, fetches, cache, flights)
+	})
+}
+
+// inFlightMask returns the mask of blocks currently being fetched.
+func (s *searcher) inFlightMask(key stateKey) uint64 {
+	var m uint64
+	for d := 0; d < s.in.Disks; d++ {
+		if key.flights[d] != 0 {
+			m |= 1 << uint(flightBlock(key.flights[d]))
+		}
+	}
+	return m
+}
+
+// enumerate recursively chooses, for each idle disk, whether and what to
+// fetch, and calls emit for every combination.  cache and inflight are the
+// working copies reflecting the choices made for disks < d.
+func (s *searcher) enumerate(key stateKey, d int, cache uint64, inflight uint64, acc []fetchAction, emit func([]fetchAction, uint64, [maxDisks]uint16)) {
+	if d == s.in.Disks {
+		flights := key.flights
+		for _, fa := range acc {
+			flights[fa.disk] = flightOf(fa.block, s.in.F)
+		}
+		emit(acc, cache, flights)
+		return
+	}
+	// Option 1: no new fetch on disk d.
+	s.enumerate(key, d+1, cache, inflight, acc, emit)
+	if key.flights[d] != 0 {
+		return // disk busy: no other option
+	}
+	served := int(key.served)
+	free := s.cap - bits.OnesCount64(cache) - bits.OnesCount64(inflight)
+	for _, block := range s.fetchCandidates(d, served, cache, inflight) {
+		for _, victim := range s.victimCandidates(served, cache, free) {
+			newCache := cache
+			if victim >= 0 {
+				newCache &^= 1 << uint(victim)
+			}
+			fa := fetchAction{disk: d, block: block, victim: victim}
+			s.enumerate(key, d+1, newCache, inflight|1<<uint(block), append(acc, fa), emit)
+		}
+	}
+}
+
+// fetchCandidates returns the block indices that may be fetched on disk d in
+// the current state.  In pruned mode it is just the missing block on disk d
+// with the earliest next reference; in full mode it is every missing block on
+// disk d that is still referenced.
+func (s *searcher) fetchCandidates(d, served int, cache, inflight uint64) []int {
+	n := s.in.N()
+	if !s.opts.Full {
+		for p := served; p < n; p++ {
+			bi := s.idxOf[s.in.Seq[p]]
+			if s.diskOf[bi] != d {
+				continue
+			}
+			if cache&(1<<uint(bi)) != 0 || inflight&(1<<uint(bi)) != 0 {
+				continue
+			}
+			return []int{bi}
+		}
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for p := served; p < n; p++ {
+		bi := s.idxOf[s.in.Seq[p]]
+		if s.diskOf[bi] != d || seen[bi] {
+			continue
+		}
+		seen[bi] = true
+		if cache&(1<<uint(bi)) != 0 || inflight&(1<<uint(bi)) != 0 {
+			continue
+		}
+		out = append(out, bi)
+	}
+	return out
+}
+
+// victimCandidates returns the eviction choices: -1 for a free location when
+// one is available (always preferred; using a free location never hurts), and
+// otherwise cached blocks.  In pruned mode only a furthest-referenced cached
+// block is considered.
+func (s *searcher) victimCandidates(served int, cache uint64, free int) []int {
+	if free > 0 {
+		return []int{-1}
+	}
+	if cache == 0 {
+		return nil
+	}
+	if !s.opts.Full {
+		best := -1
+		bestRef := -1
+		for bi := 0; bi < len(s.blocks); bi++ {
+			if cache&(1<<uint(bi)) == 0 {
+				continue
+			}
+			ref := s.ix.NextAt(s.blocks[bi], served)
+			if best == -1 || ref > bestRef || (ref == bestRef && bi < best) {
+				best, bestRef = bi, ref
+			}
+		}
+		return []int{best}
+	}
+	var out []int
+	for bi := 0; bi < len(s.blocks); bi++ {
+		if cache&(1<<uint(bi)) != 0 {
+			out = append(out, bi)
+		}
+	}
+	return out
+}
+
+// advance applies the serve-or-stall step to the state obtained after the
+// fetch initiations and records the successor.
+func (s *searcher) advance(key stateKey, info *nodeInfo, fetches []fetchAction, cache uint64, flights [maxDisks]uint16) {
+	served := int(key.served)
+	b := s.in.Seq[served]
+	bi := s.idxOf[b]
+	if cache&(1<<uint(bi)) != 0 {
+		// Serve the request: one time unit passes.
+		nc, nf := tick(cache, flights, 1, s.in.Disks)
+		next := stateKey{served: int32(served + 1), cache: nc, flights: nf}
+		s.relax(key, info, next, 0, served, fetches)
+		return
+	}
+	// The requested block is missing: stall until the earliest completion.
+	minRem := 0
+	for d := 0; d < s.in.Disks; d++ {
+		if flights[d] == 0 {
+			continue
+		}
+		r := flightRemaining(flights[d])
+		if minRem == 0 || r < minRem {
+			minRem = r
+		}
+	}
+	if minRem == 0 {
+		return // nothing in flight: this branch can never serve the request
+	}
+	nc, nf := tick(cache, flights, minRem, s.in.Disks)
+	next := stateKey{served: int32(served), cache: nc, flights: nf}
+	s.relax(key, info, next, minRem, served, fetches)
+}
+
+// tick advances every in-flight fetch by delta time units, delivering
+// completed blocks into the cache.
+func tick(cache uint64, flights [maxDisks]uint16, delta, disks int) (uint64, [maxDisks]uint16) {
+	for d := 0; d < disks; d++ {
+		if flights[d] == 0 {
+			continue
+		}
+		r := flightRemaining(flights[d])
+		if r <= delta {
+			cache |= 1 << uint(flightBlock(flights[d]))
+			flights[d] = 0
+		} else {
+			flights[d] = flightOf(flightBlock(flights[d]), r-delta)
+		}
+	}
+	return cache, flights
+}
+
+// relax performs the Dijkstra relaxation step for the edge key -> next.
+func (s *searcher) relax(key stateKey, info *nodeInfo, next stateKey, cost, anchor int, fetches []fetchAction) {
+	newCost := info.cost + cost
+	if existing, ok := s.nodes[next]; ok && existing.cost <= newCost {
+		return
+	}
+	var fcopy []fetchAction
+	if len(fetches) > 0 {
+		fcopy = make([]fetchAction, len(fetches))
+		copy(fcopy, fetches)
+	}
+	s.nodes[next] = &nodeInfo{
+		cost:      newCost,
+		parent:    key,
+		hasParent: true,
+		anchor:    anchor,
+		fetches:   fcopy,
+	}
+	heap.Push(s.queue, costItem{key: next, cost: newCost})
+}
+
+// reconstruct rebuilds an optimal schedule by walking parent pointers from
+// the goal state.
+func (s *searcher) reconstruct(goal stateKey) *core.Schedule {
+	var chain []*nodeInfo
+	key := goal
+	for {
+		info := s.nodes[key]
+		chain = append(chain, info)
+		if !info.hasParent {
+			break
+		}
+		key = info.parent
+	}
+	sched := &core.Schedule{}
+	for i := len(chain) - 1; i >= 0; i-- {
+		info := chain[i]
+		// The wall-clock time at which this transition's fetches were
+		// initiated is the parent's cursor position plus the stall paid so
+		// far; recording it as MinTime pins cross-disk dependencies (a fetch
+		// started right after another disk's completion must not start
+		// earlier when the schedule is replayed).
+		var minTime int
+		if i+1 < len(chain) {
+			parent := chain[i+1]
+			minTime = int(info.parent.served) + parent.cost
+		}
+		for _, fa := range info.fetches {
+			evict := core.NoBlock
+			if fa.victim >= 0 {
+				evict = s.blocks[fa.victim]
+			}
+			f := core.NewFetch(fa.disk, info.anchor, s.blocks[fa.block], evict)
+			f.MinTime = minTime
+			sched.Append(f)
+		}
+	}
+	return sched
+}
+
+// costItem and costQueue implement the priority queue for Dijkstra's
+// algorithm.
+type costItem struct {
+	key  stateKey
+	cost int
+}
+
+type costQueue []costItem
+
+func (q costQueue) Len() int            { return len(q) }
+func (q costQueue) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q costQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *costQueue) Push(x interface{}) { *q = append(*q, x.(costItem)) }
+func (q *costQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,197 @@
+// Package paging implements classical demand-paging replacement policies:
+// Belady's optimal offline algorithm MIN, LRU and FIFO.
+//
+// These policies are substrates for the integrated prefetching/caching
+// algorithms of the paper: the Conservative algorithm performs exactly the
+// block replacements of MIN while starting each fetch as early as the chosen
+// eviction allows, and LRU/FIFO serve as classical baselines in the
+// experiment harness.  The policies operate purely on the request sequence
+// and cache size; fetch timing is layered on top by package single.
+package paging
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+)
+
+// Decision records one page fault of a replacement policy: at request
+// position Pos the missing block Block was brought in, evicting Victim.
+// Victim is core.NoBlock when a free cache location was used.
+type Decision struct {
+	// Pos is the 0-based position of the faulting request.
+	Pos int
+	// Block is the block that was missing and is brought into the cache.
+	Block core.BlockID
+	// Victim is the evicted block, or core.NoBlock if a free location was used.
+	Victim core.BlockID
+}
+
+// String renders the decision.
+func (d Decision) String() string {
+	if d.Victim == core.NoBlock {
+		return fmt.Sprintf("r%d: load %v", d.Pos+1, d.Block)
+	}
+	return fmt.Sprintf("r%d: load %v evict %v", d.Pos+1, d.Block, d.Victim)
+}
+
+// Policy identifies a demand-paging replacement policy.
+type Policy int
+
+// The supported replacement policies.
+const (
+	// PolicyMIN is Belady's optimal offline policy: evict the cached block
+	// whose next reference is furthest in the future.
+	PolicyMIN Policy = iota
+	// PolicyLRU evicts the least recently used block.
+	PolicyLRU
+	// PolicyFIFO evicts the block that entered the cache first.
+	PolicyFIFO
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyMIN:
+		return "MIN"
+	case PolicyLRU:
+		return "LRU"
+	case PolicyFIFO:
+		return "FIFO"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Run simulates demand paging with the given policy on the sequence using a
+// cache of k locations, starting from the given initial cache contents, and
+// returns the fault decisions in request order.
+func Run(policy Policy, seq core.Sequence, k int, initial []core.BlockID) []Decision {
+	switch policy {
+	case PolicyMIN:
+		return MIN(seq, k, initial)
+	case PolicyLRU:
+		return LRU(seq, k, initial)
+	case PolicyFIFO:
+		return FIFO(seq, k, initial)
+	default:
+		panic(fmt.Sprintf("paging: unknown policy %d", int(policy)))
+	}
+}
+
+// MIN simulates Belady's optimal offline replacement policy and returns its
+// fault decisions.  On a fault with a full cache it evicts the cached block
+// whose next reference is furthest in the future (ties broken by smaller
+// BlockID for determinism).
+func MIN(seq core.Sequence, k int, initial []core.BlockID) []Decision {
+	ix := core.NewIndex(seq)
+	cache := newCacheSet(k, initial)
+	var out []Decision
+	for pos, b := range seq {
+		if cache.contains(b) {
+			continue
+		}
+		victim := core.NoBlock
+		if cache.full() {
+			victim, _ = ix.FurthestNext(cache.members(), pos)
+			cache.remove(victim)
+		}
+		cache.add(b)
+		out = append(out, Decision{Pos: pos, Block: b, Victim: victim})
+	}
+	return out
+}
+
+// LRU simulates least-recently-used replacement and returns its fault
+// decisions.
+func LRU(seq core.Sequence, k int, initial []core.BlockID) []Decision {
+	cache := newCacheSet(k, initial)
+	lastUse := make(map[core.BlockID]int)
+	// Initial blocks are treated as used before the sequence starts, in the
+	// order given (earlier entries are older).
+	for i, b := range initial {
+		lastUse[b] = -len(initial) + i
+	}
+	var out []Decision
+	for pos, b := range seq {
+		if cache.contains(b) {
+			lastUse[b] = pos
+			continue
+		}
+		victim := core.NoBlock
+		if cache.full() {
+			oldest := core.NoBlock
+			oldestUse := 0
+			for _, c := range cache.members() {
+				u := lastUse[c]
+				if oldest == core.NoBlock || u < oldestUse || (u == oldestUse && c < oldest) {
+					oldest, oldestUse = c, u
+				}
+			}
+			victim = oldest
+			cache.remove(victim)
+		}
+		cache.add(b)
+		lastUse[b] = pos
+		out = append(out, Decision{Pos: pos, Block: b, Victim: victim})
+	}
+	return out
+}
+
+// FIFO simulates first-in-first-out replacement and returns its fault
+// decisions.
+func FIFO(seq core.Sequence, k int, initial []core.BlockID) []Decision {
+	cache := newCacheSet(k, initial)
+	var queue []core.BlockID
+	queue = append(queue, initial...)
+	var out []Decision
+	for pos, b := range seq {
+		if cache.contains(b) {
+			continue
+		}
+		victim := core.NoBlock
+		if cache.full() {
+			victim = queue[0]
+			queue = queue[1:]
+			cache.remove(victim)
+		}
+		cache.add(b)
+		queue = append(queue, b)
+		out = append(out, Decision{Pos: pos, Block: b, Victim: victim})
+	}
+	return out
+}
+
+// Faults returns the number of faults, i.e. len(decisions); it exists for
+// readability at call sites.
+func Faults(decisions []Decision) int { return len(decisions) }
+
+// cacheSet is a small set of blocks with a capacity.
+type cacheSet struct {
+	k   int
+	set map[core.BlockID]bool
+}
+
+func newCacheSet(k int, initial []core.BlockID) *cacheSet {
+	c := &cacheSet{k: k, set: make(map[core.BlockID]bool, k)}
+	for _, b := range initial {
+		c.set[b] = true
+	}
+	return c
+}
+
+func (c *cacheSet) contains(b core.BlockID) bool { return c.set[b] }
+func (c *cacheSet) full() bool                   { return len(c.set) >= c.k }
+func (c *cacheSet) add(b core.BlockID)           { c.set[b] = true }
+func (c *cacheSet) remove(b core.BlockID)        { delete(c.set, b) }
+
+// members returns the cached blocks in increasing BlockID order-independent
+// slice form; callers that need determinism sort or use Index helpers that
+// break ties deterministically.
+func (c *cacheSet) members() []core.BlockID {
+	out := make([]core.BlockID, 0, len(c.set))
+	for b := range c.set {
+		out = append(out, b)
+	}
+	return out
+}

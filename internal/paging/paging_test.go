@@ -1,0 +1,193 @@
+package paging
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfcache/internal/core"
+)
+
+func seqOf(s string) core.Sequence {
+	seq, _ := core.ParseSequence(s)
+	return seq
+}
+
+func TestMINClassicExample(t *testing.T) {
+	// Classic Belady example: a b c d a b e a b c d e with k = 3 and an
+	// empty initial cache has 7 faults under MIN.
+	seq := seqOf("a b c d a b e a b c d e")
+	dec := MIN(seq, 3, nil)
+	if got := Faults(dec); got != 7 {
+		t.Fatalf("MIN faults = %d, want 7", got)
+	}
+}
+
+func TestMINVictimChoice(t *testing.T) {
+	// After a b c with k=3, the fault on d must evict the block whose next
+	// reference is furthest: sequence a b c d a b -> evict c.
+	seq := seqOf("a b c d a b")
+	dec := MIN(seq, 3, nil)
+	if len(dec) != 4 {
+		t.Fatalf("faults = %d, want 4", len(dec))
+	}
+	last := dec[3]
+	if last.Block != 3 || last.Victim != 2 {
+		t.Fatalf("MIN decision = %v, want load b3 evict b2", last)
+	}
+}
+
+func TestMINWithInitialCache(t *testing.T) {
+	seq := seqOf("a b c")
+	dec := MIN(seq, 3, []core.BlockID{0, 1, 2})
+	if len(dec) != 0 {
+		t.Fatalf("expected no faults with a warm cache, got %v", dec)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// a b c d with k = 3: the fault on d evicts a (least recently used).
+	seq := seqOf("a b c d")
+	dec := LRU(seq, 3, nil)
+	if len(dec) != 4 {
+		t.Fatalf("faults = %d, want 4", len(dec))
+	}
+	if dec[3].Victim != 0 {
+		t.Fatalf("LRU victim = %v, want b0", dec[3].Victim)
+	}
+}
+
+func TestLRUInitialCacheAging(t *testing.T) {
+	// Initial cache [a b]; requesting c must evict a, the older initial block.
+	seq := core.Sequence{2}
+	dec := LRU(seq, 2, []core.BlockID{0, 1})
+	if len(dec) != 1 || dec[0].Victim != 0 {
+		t.Fatalf("LRU with warm cache = %v, want evict b0", dec)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	// a b c a d with k = 3: FIFO evicts a on the fault for d even though a
+	// was just used.
+	seq := seqOf("a b c a d")
+	dec := FIFO(seq, 3, nil)
+	if len(dec) != 4 {
+		t.Fatalf("faults = %d, want 4", len(dec))
+	}
+	if dec[3].Victim != 0 {
+		t.Fatalf("FIFO victim = %v, want b0", dec[3].Victim)
+	}
+}
+
+func TestRunDispatchAndStrings(t *testing.T) {
+	seq := seqOf("a b a c")
+	for _, p := range []Policy{PolicyMIN, PolicyLRU, PolicyFIFO} {
+		dec := Run(p, seq, 2, nil)
+		if len(dec) == 0 {
+			t.Errorf("%v produced no decisions", p)
+		}
+		if p.String() == "" {
+			t.Errorf("empty policy name")
+		}
+		for _, d := range dec {
+			if d.String() == "" {
+				t.Errorf("empty decision string")
+			}
+		}
+	}
+	if Policy(99).String() == "" {
+		t.Errorf("unknown policy has empty name")
+	}
+}
+
+func TestRunPanicsOnUnknownPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for unknown policy")
+		}
+	}()
+	Run(Policy(99), seqOf("a"), 1, nil)
+}
+
+// TestMINOptimality checks on random small sequences that MIN never incurs
+// more faults than LRU or FIFO (Belady's optimality), and that every policy
+// incurs at least the number of distinct blocks beyond the initial cache.
+func TestMINOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(40)
+		blocks := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(4)
+		seq := make(core.Sequence, n)
+		for i := range seq {
+			seq[i] = core.BlockID(rng.Intn(blocks))
+		}
+		min := Faults(MIN(seq, k, nil))
+		lru := Faults(LRU(seq, k, nil))
+		fifo := Faults(FIFO(seq, k, nil))
+		if min > lru || min > fifo {
+			t.Fatalf("trial %d: MIN=%d LRU=%d FIFO=%d on %v (k=%d)", trial, min, lru, fifo, seq, k)
+		}
+		distinct := len(seq.Distinct())
+		lower := distinct
+		if lower > 0 && min < lowerBoundColdMisses(seq, k) {
+			t.Fatalf("trial %d: MIN=%d below cold-miss bound", trial, min)
+		}
+	}
+}
+
+// lowerBoundColdMisses returns the number of distinct blocks, the trivial
+// lower bound on faults with an empty initial cache.
+func lowerBoundColdMisses(seq core.Sequence, k int) int {
+	return len(seq.Distinct())
+}
+
+// TestFaultsMatchCacheSimulation replays MIN decisions through an explicit
+// cache and verifies that every request is a hit unless a decision is
+// recorded at that position (i.e. the decision list is consistent).
+func TestFaultsMatchCacheSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(30)
+		blocks := 2 + rng.Intn(5)
+		k := 1 + rng.Intn(4)
+		seq := make(core.Sequence, n)
+		for i := range seq {
+			seq[i] = core.BlockID(rng.Intn(blocks))
+		}
+		for _, p := range []Policy{PolicyMIN, PolicyLRU, PolicyFIFO} {
+			dec := Run(p, seq, k, nil)
+			byPos := make(map[int]Decision)
+			for _, d := range dec {
+				byPos[d.Pos] = d
+			}
+			cache := make(map[core.BlockID]bool)
+			for pos, b := range seq {
+				d, faulted := byPos[pos]
+				if cache[b] {
+					if faulted {
+						t.Fatalf("%v: fault recorded on a hit at %d", p, pos)
+					}
+					continue
+				}
+				if !faulted {
+					t.Fatalf("%v: miss at %d not recorded", p, pos)
+				}
+				if d.Block != b {
+					t.Fatalf("%v: decision block %v, want %v", p, d.Block, b)
+				}
+				if d.Victim != core.NoBlock {
+					if !cache[d.Victim] {
+						t.Fatalf("%v: victim %v not cached", p, d.Victim)
+					}
+					delete(cache, d.Victim)
+				} else if len(cache) >= k {
+					t.Fatalf("%v: no victim but cache full", p)
+				}
+				cache[b] = true
+				if len(cache) > k {
+					t.Fatalf("%v: cache overflow", p)
+				}
+			}
+		}
+	}
+}

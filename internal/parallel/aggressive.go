@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+	"pfcache/internal/paging"
+)
+
+// ErrNotParallel is returned when an instance fails validation for the
+// parallel algorithms (they accept any D >= 1, so this only wraps basic
+// instance validation failures).
+type ErrNotParallel struct {
+	Err error
+}
+
+func (e *ErrNotParallel) Error() string {
+	return fmt.Sprintf("parallel: invalid instance: %v", e.Err)
+}
+
+func (e *ErrNotParallel) Unwrap() error { return e.Err }
+
+// Aggressive computes the schedule of the parallel-disk Aggressive strategy:
+// whenever a disk is idle it starts a prefetch for the next missing block
+// residing on that disk, provided some cached block is not requested before
+// that block; the victim is the cached block whose next reference is furthest
+// in the future.  Kimbrel and Karlin showed that the elapsed-time
+// approximation ratio of this strategy grows like the number of disks D,
+// which is the behaviour experiment E8 reproduces.
+func Aggressive(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, &ErrNotParallel{Err: err}
+	}
+	d := newDriver(in)
+	return d.run(aggressivePolicy{})
+}
+
+type aggressivePolicy struct{}
+
+func (aggressivePolicy) decide(dr *driver, disk int) (core.BlockID, core.BlockID, bool) {
+	j := dr.nextMissingOnDisk(disk, dr.served)
+	if j < 0 {
+		return core.NoBlock, core.NoBlock, false
+	}
+	b := dr.in.Seq[j]
+	if dr.freeSlots > 0 {
+		return b, core.NoBlock, true
+	}
+	victim, ref := dr.ix.FurthestNext(dr.cachedBlocks(), dr.served)
+	if victim == core.NoBlock || ref < j {
+		// Every cached block is requested before the block to be fetched.
+		return core.NoBlock, core.NoBlock, false
+	}
+	return b, victim, true
+}
+
+// Conservative computes the schedule of the parallel-disk Conservative
+// strategy: it performs exactly the replacements of the optimal offline
+// paging algorithm MIN and fetches each faulting block on its own disk at the
+// earliest point consistent with the chosen eviction.
+func Conservative(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, &ErrNotParallel{Err: err}
+	}
+	ix := core.NewIndex(in.Seq)
+	decisions := paging.MIN(in.Seq, in.K, in.InitialCache)
+	sched := &core.Schedule{}
+	for _, dec := range decisions {
+		anchor := 0
+		if dec.Victim != core.NoBlock {
+			if last := ix.LastBefore(dec.Victim, dec.Pos); last >= 0 {
+				anchor = last + 1
+			}
+		}
+		sched.Append(core.NewFetch(in.Disk(dec.Block), anchor, dec.Block, dec.Victim))
+	}
+	return sched, nil
+}
+
+// Demand computes the no-prefetching baseline for parallel disks: each
+// missing block is fetched, on its own disk, only when it is requested, with
+// MIN replacement.
+func Demand(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, &ErrNotParallel{Err: err}
+	}
+	decisions := paging.MIN(in.Seq, in.K, in.InitialCache)
+	sched := &core.Schedule{}
+	for _, dec := range decisions {
+		sched.Append(core.NewFetch(in.Disk(dec.Block), dec.Pos, dec.Block, dec.Victim))
+	}
+	return sched, nil
+}

@@ -1,0 +1,30 @@
+// Package parallel implements integrated prefetching and caching algorithms
+// for systems with D parallel disks.
+//
+// The main entry point is LPOptimal, the Theorem 4 algorithm of the paper: it
+// computes, in polynomial time, a schedule whose stall time is bounded by the
+// optimal stall time sOPT(sigma, k) while using at most 2(D-1) extra cache
+// locations, via the synchronized-schedule linear program of package lpmodel.
+//
+// The package also provides the natural parallel-disk generalisations of the
+// classical single-disk strategies, which Kimbrel and Karlin analysed and
+// which serve as baselines in the experiment harness:
+//
+//   - Aggressive: whenever a disk is idle, it starts a prefetch for the next
+//     missing block residing on it, provided a cached block exists that is
+//     not requested before that block; the victim is the cached block whose
+//     next reference is furthest in the future.  Kimbrel and Karlin showed
+//     that the approximation ratio of this strategy degrades to roughly D.
+//
+//   - Conservative: performs the replacements of the optimal paging algorithm
+//     MIN, fetching each faulting block on its own disk at the earliest point
+//     consistent with the eviction.
+//
+//   - Demand: the no-prefetching baseline (MIN replacement), fetching each
+//     missing block only when it is requested.
+//
+// Kimbrel and Karlin's Reverse Aggressive algorithm (Aggressive run on the
+// reversed sequence) is not implemented; it is prior work that the paper
+// cites only for context, and its schedule-reversal construction is out of
+// scope for this reproduction.  DESIGN.md records this gap.
+package parallel

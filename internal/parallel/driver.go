@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+)
+
+// policy decides, for one idle disk at a decision point, which block to fetch
+// and which block to evict (NoBlock for a free cache location).  The third
+// return value reports whether a fetch is initiated at all.
+type policy interface {
+	decide(dr *driver, disk int) (block, evict core.BlockID, fetch bool)
+}
+
+// driver simulates the parallel-disk system while a policy makes per-disk
+// fetch decisions, and records the decisions as a schedule.  Replaying the
+// schedule through package sim reproduces the same stall time; the emitted
+// fetches carry both a request-count anchor and a wall-clock lower bound so
+// that decisions taken in the middle of a stall are not moved earlier by the
+// executor.
+type driver struct {
+	in *core.Instance
+	ix *core.Index
+
+	cache     map[core.BlockID]bool
+	freeSlots int
+
+	time   int
+	served int
+
+	inflightBlock []core.BlockID // per disk, NoBlock when idle
+	inflightDone  []int          // per disk
+
+	sched *core.Schedule
+}
+
+func newDriver(in *core.Instance) *driver {
+	d := &driver{
+		in:            in,
+		ix:            core.NewIndex(in.Seq),
+		cache:         make(map[core.BlockID]bool, in.K),
+		freeSlots:     in.K - len(in.InitialCache),
+		inflightBlock: make([]core.BlockID, in.Disks),
+		inflightDone:  make([]int, in.Disks),
+		sched:         &core.Schedule{},
+	}
+	for i := range d.inflightBlock {
+		d.inflightBlock[i] = core.NoBlock
+	}
+	for _, b := range in.InitialCache {
+		d.cache[b] = true
+	}
+	return d
+}
+
+func (d *driver) cachedBlocks() []core.BlockID {
+	out := make([]core.BlockID, 0, len(d.cache))
+	for b := range d.cache {
+		out = append(out, b)
+	}
+	return out
+}
+
+// nextMissingOnDisk returns the position of the next request at or after pos
+// whose block resides on the given disk and is neither cached nor in flight,
+// or -1 if there is none.
+func (d *driver) nextMissingOnDisk(disk, pos int) int {
+	for p := pos; p < d.in.N(); p++ {
+		b := d.in.Seq[p]
+		if d.in.Disk(b) != disk {
+			continue
+		}
+		if d.cache[b] || d.blockInFlight(b) {
+			continue
+		}
+		return p
+	}
+	return -1
+}
+
+func (d *driver) blockInFlight(b core.BlockID) bool {
+	for _, fb := range d.inflightBlock {
+		if fb == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *driver) deliver() {
+	for disk := range d.inflightBlock {
+		if d.inflightBlock[disk] != core.NoBlock && d.inflightDone[disk] <= d.time {
+			d.cache[d.inflightBlock[disk]] = true
+			d.inflightBlock[disk] = core.NoBlock
+		}
+	}
+}
+
+func (d *driver) earliestDone() int {
+	best := -1
+	for disk := range d.inflightBlock {
+		if d.inflightBlock[disk] == core.NoBlock {
+			continue
+		}
+		if best == -1 || d.inflightDone[disk] < best {
+			best = d.inflightDone[disk]
+		}
+	}
+	return best
+}
+
+func (d *driver) run(p policy) (*core.Schedule, error) {
+	n := d.in.N()
+	for d.served < n {
+		d.deliver()
+		for disk := 0; disk < d.in.Disks; disk++ {
+			if d.inflightBlock[disk] != core.NoBlock {
+				continue
+			}
+			block, evict, ok := p.decide(d, disk)
+			if !ok {
+				continue
+			}
+			if evict != core.NoBlock {
+				if !d.cache[evict] {
+					return nil, fmt.Errorf("parallel: policy evicted absent block %v", evict)
+				}
+				delete(d.cache, evict)
+			} else {
+				if d.freeSlots <= 0 {
+					return nil, fmt.Errorf("parallel: policy used a free cache location but none is available")
+				}
+				d.freeSlots--
+			}
+			d.inflightBlock[disk] = block
+			d.inflightDone[disk] = d.time + d.in.F
+			f := core.NewFetch(disk, d.served, block, evict)
+			f.MinTime = d.time
+			d.sched.Append(f)
+		}
+		b := d.in.Seq[d.served]
+		switch {
+		case d.cache[b]:
+			d.time++
+			d.served++
+		default:
+			done := -1
+			if d.blockInFlight(b) {
+				for disk := range d.inflightBlock {
+					if d.inflightBlock[disk] == b {
+						done = d.inflightDone[disk]
+					}
+				}
+			} else {
+				done = d.earliestDone()
+			}
+			if done < 0 {
+				return nil, fmt.Errorf("parallel: request %d block %v is missing but no fetch is in progress", d.served, b)
+			}
+			d.time = done
+		}
+	}
+	return d.sched, nil
+}

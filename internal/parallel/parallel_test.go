@@ -1,0 +1,193 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfcache/internal/core"
+	"pfcache/internal/opt"
+	"pfcache/internal/sim"
+	"pfcache/internal/workload"
+)
+
+func introParallelInstance() *core.Instance {
+	seq := core.Sequence{0, 1, 4, 5, 2, 6, 3}
+	diskOf := map[core.BlockID]int{0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1}
+	return core.MultiDisk(seq, 4, 4, 2, diskOf).WithInitialCache(0, 1, 4, 5)
+}
+
+func mustRun(t *testing.T, in *core.Instance, sched *core.Schedule) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(in, sched, sim.Options{})
+	if err != nil {
+		t.Fatalf("schedule infeasible: %v\n%v", err, sched)
+	}
+	return res
+}
+
+// TestAggressiveIntroParallel checks that the parallel Aggressive strategy
+// reproduces the schedule described in the paper's two-disk introduction
+// example: disk 1 fetches b3 at the request to b2 evicting b1, disk 2 fetches
+// c3 one request later evicting b2, and the total stall time is 3.
+func TestAggressiveIntroParallel(t *testing.T) {
+	in := introParallelInstance()
+	sched, err := Aggressive(in)
+	if err != nil {
+		t.Fatalf("Aggressive: %v", err)
+	}
+	res := mustRun(t, in, sched)
+	if res.Stall != 3 || res.Elapsed != 10 {
+		t.Fatalf("stall=%d elapsed=%d, want 3 and 10\n%v", res.Stall, res.Elapsed, sched)
+	}
+	if len(sched.Fetches) != 3 {
+		t.Fatalf("fetch count = %d, want 3\n%v", len(sched.Fetches), sched)
+	}
+	first := sched.Fetches[0]
+	if first.Disk != 0 || first.Block != 2 || first.Evict != 0 || first.After != 1 {
+		t.Fatalf("first fetch = %v, want disk0 +b2 -b0 at anchor 1", first)
+	}
+	second := sched.Fetches[1]
+	if second.Disk != 1 || second.Block != 6 || second.Evict != 1 || second.After != 2 {
+		t.Fatalf("second fetch = %v, want disk1 +b6 -b1 at anchor 2", second)
+	}
+}
+
+// TestConservativeAndDemandIntroParallel checks feasibility and sensible
+// ordering of the other baselines on the worked example.
+func TestConservativeAndDemandIntroParallel(t *testing.T) {
+	in := introParallelInstance()
+	cons, err := Conservative(in)
+	if err != nil {
+		t.Fatalf("Conservative: %v", err)
+	}
+	cres := mustRun(t, in, cons)
+	dem, err := Demand(in)
+	if err != nil {
+		t.Fatalf("Demand: %v", err)
+	}
+	dres := mustRun(t, in, dem)
+	if cres.Stall > dres.Stall {
+		t.Fatalf("Conservative stall %d worse than demand stall %d", cres.Stall, dres.Stall)
+	}
+	// Demand paging pays the full fetch time for each of the three faults,
+	// minus overlap it cannot exploit.
+	if dres.Stall != 3*in.F {
+		t.Fatalf("demand stall = %d, want %d", dres.Stall, 3*in.F)
+	}
+}
+
+// TestLPOptimalIntroParallel checks the Theorem 4 algorithm on the worked
+// example: stall at most the optimum (3) and extra cache within 2(D-1).
+func TestLPOptimalIntroParallel(t *testing.T) {
+	in := introParallelInstance()
+	res, err := LPOptimal(in)
+	if err != nil {
+		t.Fatalf("LPOptimal: %v", err)
+	}
+	if res.Stall > 3 {
+		t.Fatalf("LP-optimal stall = %d, want at most 3", res.Stall)
+	}
+	if res.ExtraCache > 2 {
+		t.Fatalf("extra cache = %d, want at most 2", res.ExtraCache)
+	}
+	mustRun(t, in, res.Schedule)
+}
+
+// TestParallelAlgorithmsFeasibleOnRandomWorkloads checks feasibility, zero
+// extra cache for the greedy algorithms, and the expected ordering
+// LP-optimal <= others on random multi-disk instances (using the exhaustive
+// optimum as an additional reference on the smallest ones).
+func TestParallelAlgorithmsFeasibleOnRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		n := 10 + rng.Intn(8)
+		blocks := 5 + rng.Intn(4)
+		k := 3 + rng.Intn(2)
+		f := 2 + rng.Intn(2)
+		disks := 2 + rng.Intn(2)
+		seq := workload.Uniform(n, blocks, int64(500+trial))
+		in := workload.Instance(seq, k, f, disks, workload.AssignStripe, 0)
+
+		optRes, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			t.Fatalf("opt: %v", err)
+		}
+		lpRes, err := LPOptimal(in)
+		if err != nil {
+			t.Fatalf("LPOptimal: %v", err)
+		}
+		if lpRes.Stall > optRes.Stall {
+			t.Errorf("trial %d: LP-optimal stall %d exceeds optimal %d (seq=%v k=%d F=%d D=%d)",
+				trial, lpRes.Stall, optRes.Stall, seq, k, f, disks)
+		}
+		if lpRes.ExtraCache > 2*(disks-1) {
+			t.Errorf("trial %d: LP-optimal extra cache %d exceeds 2(D-1)=%d", trial, lpRes.ExtraCache, 2*(disks-1))
+		}
+
+		for _, a := range []Algorithm{{"aggressive", Aggressive}, {"conservative", Conservative}, {"demand", Demand}} {
+			sched, err := a.Run(in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, a.Name, err)
+			}
+			res, err := sim.Run(in, sched, sim.Options{})
+			if err != nil {
+				t.Fatalf("trial %d %s: infeasible: %v\n%v", trial, a.Name, err, sched)
+			}
+			if res.ExtraCache != 0 {
+				t.Errorf("trial %d %s: used %d extra cache locations", trial, a.Name, res.ExtraCache)
+			}
+			if res.Stall < optRes.Stall {
+				t.Errorf("trial %d %s: stall %d beats the optimum %d", trial, a.Name, res.Stall, optRes.Stall)
+			}
+		}
+	}
+}
+
+// TestSingleDiskDegenerateCase checks that the parallel algorithms also work
+// with D = 1 and then agree with their single-disk counterparts' guarantees.
+func TestSingleDiskDegenerateCase(t *testing.T) {
+	seq := workload.Zipf(60, 8, 1.0, 3)
+	in := core.SingleDisk(seq, 4, 3)
+	for _, a := range Algorithms() {
+		sched, err := a.Run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		mustRun(t, in, sched)
+	}
+}
+
+// TestByName exercises the registry.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"lp-optimal", "aggressive", "conservative", "demand"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Errorf("unknown algorithm accepted")
+	}
+}
+
+// TestInvalidInstanceRejected checks validation.
+func TestInvalidInstanceRejected(t *testing.T) {
+	bad := core.SingleDisk(core.Sequence{0}, 0, 1)
+	if _, err := Aggressive(bad); err == nil {
+		t.Errorf("Aggressive accepted an invalid instance")
+	}
+	if _, err := Conservative(bad); err == nil {
+		t.Errorf("Conservative accepted an invalid instance")
+	}
+	if _, err := Demand(bad); err == nil {
+		t.Errorf("Demand accepted an invalid instance")
+	}
+	var e *ErrNotParallel
+	_, err := Aggressive(bad)
+	if err != nil {
+		var ok bool
+		e, ok = err.(*ErrNotParallel)
+		if !ok || e.Error() == "" || e.Unwrap() == nil {
+			t.Errorf("unexpected error type %T", err)
+		}
+	}
+}

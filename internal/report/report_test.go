@@ -1,0 +1,45 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.Note = "a note"
+	tab.AddRow("alpha", 1)
+	tab.AddRow("beta", 2.5)
+	text := tab.String()
+	for _, want := range []string{"== demo ==", "a note", "name", "alpha", "2.500", "----"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+	// Columns are aligned: every data line has the value column starting at
+	// the same offset as the header's.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	headerIdx := strings.Index(lines[2], "value")
+	if headerIdx < 0 {
+		t.Fatalf("header line not found")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x,y", `quote"inside`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"quote""inside"`) {
+		t.Errorf("CSV escaping wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := NewTable("empty", "only")
+	if tab.String() == "" || tab.CSV() == "" {
+		t.Errorf("empty table should still render headers")
+	}
+}

@@ -1,0 +1,18 @@
+// Package sim executes prefetching/caching schedules on the disk model of
+// package core and measures their cost.
+//
+// The executor is a small discrete-event simulator.  It advances a cursor
+// through the request sequence, starting fetches as soon as they are eligible
+// (their anchor has been reached and their disk is idle), evicting blocks at
+// fetch initiation, delivering blocks at fetch completion, and stalling the
+// cursor whenever the next requested block is not resident.  While the cursor
+// stalls, all in-flight fetches keep making progress, which is exactly the
+// parallel-disk semantics of the paper.  The executor reports the total stall
+// time, the elapsed time (stall plus number of requests), and the maximum
+// number of cache locations used at any instant, from which the "extra memory
+// locations" figure of Theorem 4 is derived.
+//
+// The executor is also the schedule validator: it rejects schedules that
+// evict absent blocks, fetch blocks that are already resident, or leave a
+// requested block with no pending fetch that could deliver it.
+package sim

@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+)
+
+// Options controls schedule execution.
+type Options struct {
+	// Trace records an event log in the result.
+	Trace bool
+	// MaxResident, when positive, makes execution fail as soon as more than
+	// MaxResident cache locations are in use at the same instant.  It is used
+	// to enforce the "k + extra" bounds of Section 3 of the paper.
+	MaxResident int
+	// DropRedundantFetches silently skips fetches whose block is already
+	// resident (in cache or in flight) at initiation time instead of
+	// reporting an error.  The number of skipped fetches is reported in
+	// Result.DroppedFetches.
+	DropRedundantFetches bool
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds recorded in the execution trace.
+const (
+	EventServe      EventKind = iota // a request was served
+	EventStall                       // the processor stalled
+	EventFetchStart                  // a fetch was initiated (and its eviction performed)
+	EventFetchEnd                    // a fetch completed (block became resident)
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventServe:
+		return "serve"
+	case EventStall:
+		return "stall"
+	case EventFetchStart:
+		return "fetch-start"
+	case EventFetchEnd:
+		return "fetch-end"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one entry of the execution trace.
+type Event struct {
+	// Time is the wall-clock time at which the event happened.
+	Time int
+	// Kind classifies the event.
+	Kind EventKind
+	// Request is the 0-based request position for serve and stall events,
+	// and the cursor position for fetch events.
+	Request int
+	// Block is the block involved (served, fetched or arriving).
+	Block core.BlockID
+	// Evict is the block evicted for fetch-start events, or NoBlock.
+	Evict core.BlockID
+	// Disk is the disk involved for fetch events.
+	Disk int
+	// Duration is the stall length for stall events.
+	Duration int
+}
+
+// String renders the event.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventServe:
+		return fmt.Sprintf("t=%d serve r%d=%v", e.Time, e.Request+1, e.Block)
+	case EventStall:
+		return fmt.Sprintf("t=%d stall %d before r%d", e.Time, e.Duration, e.Request+1)
+	case EventFetchStart:
+		if e.Evict != core.NoBlock {
+			return fmt.Sprintf("t=%d disk%d fetch %v evict %v", e.Time, e.Disk, e.Block, e.Evict)
+		}
+		return fmt.Sprintf("t=%d disk%d fetch %v", e.Time, e.Disk, e.Block)
+	case EventFetchEnd:
+		return fmt.Sprintf("t=%d disk%d loaded %v", e.Time, e.Disk, e.Block)
+	default:
+		return fmt.Sprintf("t=%d %v", e.Time, e.Kind)
+	}
+}
+
+// Result reports the cost and resource usage of an executed schedule.
+type Result struct {
+	// Stall is the total processor stall time.
+	Stall int
+	// Elapsed is the elapsed time: the number of requests plus Stall.
+	Elapsed int
+	// Requests is the number of requests served.
+	Requests int
+	// FetchCount is the number of fetch operations performed.
+	FetchCount int
+	// MaxResident is the maximum number of cache locations in use at any
+	// instant (resident blocks plus reserved locations of in-flight fetches).
+	MaxResident int
+	// ExtraCache is max(0, MaxResident - k): the number of memory locations
+	// used beyond the nominal cache size.
+	ExtraCache int
+	// PerRequestStall[i] is the stall time incurred immediately before
+	// serving request i.
+	PerRequestStall []int
+	// DroppedFetches counts redundant fetches skipped under
+	// Options.DropRedundantFetches.
+	DroppedFetches int
+	// Events is the execution trace (only when Options.Trace is set).
+	Events []Event
+}
+
+// Error types reported by the executor.
+
+// MissingBlockError reports that a requested block was not resident and no
+// pending fetch could deliver it, i.e. the schedule is infeasible.
+type MissingBlockError struct {
+	Request int
+	Block   core.BlockID
+}
+
+func (e *MissingBlockError) Error() string {
+	return fmt.Sprintf("request %d: block %v is not in cache and no pending fetch delivers it", e.Request+1, e.Block)
+}
+
+// EvictAbsentError reports an eviction of a block that is not resident.
+type EvictAbsentError struct {
+	FetchIndex int
+	Block      core.BlockID
+}
+
+func (e *EvictAbsentError) Error() string {
+	return fmt.Sprintf("fetch %d: evicted block %v is not in cache", e.FetchIndex, e.Block)
+}
+
+// RedundantFetchError reports a fetch of a block that is already resident or
+// already being fetched.
+type RedundantFetchError struct {
+	FetchIndex int
+	Block      core.BlockID
+}
+
+func (e *RedundantFetchError) Error() string {
+	return fmt.Sprintf("fetch %d: block %v is already resident or in flight", e.FetchIndex, e.Block)
+}
+
+// ResidencyError reports that the schedule used more cache locations than the
+// configured limit allows.
+type ResidencyError struct {
+	Time     int
+	Resident int
+	Limit    int
+}
+
+func (e *ResidencyError) Error() string {
+	return fmt.Sprintf("time %d: %d cache locations in use, limit is %d", e.Time, e.Resident, e.Limit)
+}
+
+// queuedFetch is a fetch together with its index in the original schedule.
+type queuedFetch struct {
+	core.Fetch
+	index int
+}
+
+// inflight describes the fetch currently executing on a disk.
+type inflight struct {
+	active     bool
+	block      core.BlockID
+	done       int
+	evictAtEnd core.BlockID
+	index      int
+}
+
+// executor holds the mutable state of one schedule execution.
+type executor struct {
+	in   *core.Instance
+	opts Options
+
+	queues  [][]queuedFetch // per-disk pending fetches, in order
+	qpos    []int           // next queue index per disk
+	flights []inflight      // per-disk in-flight fetch
+
+	cache map[core.BlockID]bool
+
+	time   int
+	served int
+	stall  int
+
+	res Result
+
+	kept    []bool // kept[i] reports whether schedule fetch i was executed
+	dropped int
+}
+
+// Run executes the schedule on the instance and returns its cost, or an error
+// if the schedule is infeasible.
+func Run(in *core.Instance, sched *core.Schedule, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid instance: %w", err)
+	}
+	if err := sched.Validate(in); err != nil {
+		return nil, fmt.Errorf("invalid schedule: %w", err)
+	}
+	ex := newExecutor(in, sched, opts)
+	if err := ex.run(); err != nil {
+		return nil, err
+	}
+	return &ex.res, nil
+}
+
+// Stall is a convenience wrapper returning only the total stall time.
+func Stall(in *core.Instance, sched *core.Schedule) (int, error) {
+	r, err := Run(in, sched, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return r.Stall, nil
+}
+
+// Elapsed is a convenience wrapper returning only the elapsed time.
+func Elapsed(in *core.Instance, sched *core.Schedule) (int, error) {
+	r, err := Run(in, sched, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return r.Elapsed, nil
+}
+
+// Sanitize executes the schedule with redundant fetches dropped and returns a
+// copy of the schedule containing only the fetches that were actually
+// executed, together with the number of dropped fetches.  It is used to clean
+// up schedules produced by the linear-programming rounding, which may contain
+// fetches of blocks that are already resident (such fetches never help and
+// never hurt the stall time, so removing them is always safe).
+func Sanitize(in *core.Instance, sched *core.Schedule) (*core.Schedule, int, error) {
+	opts := Options{DropRedundantFetches: true}
+	ex := newExecutor(in, sched, opts)
+	if err := ex.run(); err != nil {
+		return nil, 0, err
+	}
+	out := &core.Schedule{}
+	for i, f := range sched.Fetches {
+		if ex.kept[i] {
+			out.Append(f)
+		}
+	}
+	return out, ex.dropped, nil
+}
+
+func newExecutor(in *core.Instance, sched *core.Schedule, opts Options) *executor {
+	ex := &executor{
+		in:      in,
+		opts:    opts,
+		queues:  make([][]queuedFetch, in.Disks),
+		qpos:    make([]int, in.Disks),
+		flights: make([]inflight, in.Disks),
+		cache:   make(map[core.BlockID]bool, in.K),
+		kept:    make([]bool, len(sched.Fetches)),
+	}
+	for i, f := range sched.Fetches {
+		ex.queues[f.Disk] = append(ex.queues[f.Disk], queuedFetch{Fetch: f, index: i})
+	}
+	for _, b := range in.InitialCache {
+		ex.cache[b] = true
+	}
+	ex.res.PerRequestStall = make([]int, in.N())
+	ex.res.MaxResident = len(in.InitialCache)
+	return ex
+}
+
+// resident returns the number of cache locations currently in use.
+func (ex *executor) resident() int {
+	n := len(ex.cache)
+	for d := range ex.flights {
+		if ex.flights[d].active {
+			n++
+		}
+	}
+	return n
+}
+
+func (ex *executor) noteResidency() error {
+	r := ex.resident()
+	if r > ex.res.MaxResident {
+		ex.res.MaxResident = r
+	}
+	if ex.opts.MaxResident > 0 && r > ex.opts.MaxResident {
+		return &ResidencyError{Time: ex.time, Resident: r, Limit: ex.opts.MaxResident}
+	}
+	return nil
+}
+
+func (ex *executor) event(e Event) {
+	if ex.opts.Trace {
+		e.Time = ex.time
+		ex.res.Events = append(ex.res.Events, e)
+	}
+}
+
+// deliver completes every in-flight fetch whose completion time has been
+// reached.
+func (ex *executor) deliver() error {
+	for d := range ex.flights {
+		fl := &ex.flights[d]
+		if !fl.active || fl.done > ex.time {
+			continue
+		}
+		fl.active = false
+		ex.cache[fl.block] = true
+		ex.event(Event{Kind: EventFetchEnd, Request: ex.served, Block: fl.block, Disk: d})
+		if fl.evictAtEnd != core.NoBlock {
+			if !ex.cache[fl.evictAtEnd] {
+				return &EvictAbsentError{FetchIndex: fl.index, Block: fl.evictAtEnd}
+			}
+			delete(ex.cache, fl.evictAtEnd)
+		}
+	}
+	return nil
+}
+
+// startEligible initiates every fetch that is eligible (anchor reached, disk
+// idle), in schedule order per disk.
+func (ex *executor) startEligible() error {
+	for d := range ex.queues {
+		for !ex.flights[d].active && ex.qpos[d] < len(ex.queues[d]) {
+			qf := ex.queues[d][ex.qpos[d]]
+			if qf.After > ex.served || qf.MinTime > ex.time {
+				break
+			}
+			ex.qpos[d]++
+			if ex.cache[qf.Block] || ex.blockInFlight(qf.Block) {
+				if ex.opts.DropRedundantFetches {
+					ex.dropped++
+					ex.res.DroppedFetches++
+					continue
+				}
+				return &RedundantFetchError{FetchIndex: qf.index, Block: qf.Block}
+			}
+			if qf.Evict != core.NoBlock {
+				if !ex.cache[qf.Evict] {
+					return &EvictAbsentError{FetchIndex: qf.index, Block: qf.Evict}
+				}
+				delete(ex.cache, qf.Evict)
+			}
+			ex.flights[d] = inflight{
+				active:     true,
+				block:      qf.Block,
+				done:       ex.time + ex.in.F,
+				evictAtEnd: qf.EvictAtEnd,
+				index:      qf.index,
+			}
+			ex.kept[qf.index] = true
+			ex.res.FetchCount++
+			ex.event(Event{Kind: EventFetchStart, Request: ex.served, Block: qf.Block, Evict: qf.Evict, Disk: d})
+			if err := ex.noteResidency(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ex *executor) blockInFlight(b core.BlockID) bool {
+	for d := range ex.flights {
+		if ex.flights[d].active && ex.flights[d].block == b {
+			return true
+		}
+	}
+	return false
+}
+
+// diskFetching returns the disk currently fetching block b, or -1.
+func (ex *executor) diskFetching(b core.BlockID) int {
+	for d := range ex.flights {
+		if ex.flights[d].active && ex.flights[d].block == b {
+			return d
+		}
+	}
+	return -1
+}
+
+// reachable reports whether a pending (not yet started) fetch for block b can
+// still be started given that the cursor is stuck at the current position:
+// the fetch and every fetch queued ahead of it on the same disk must have
+// their request-count anchor satisfied already (wall-clock lower bounds are
+// satisfied simply by letting time pass).
+func (ex *executor) reachable(b core.BlockID) bool {
+	for d := range ex.queues {
+		for i := ex.qpos[d]; i < len(ex.queues[d]); i++ {
+			qf := ex.queues[d][i]
+			if qf.After > ex.served {
+				break
+			}
+			if qf.Block == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// earliestTimeGate returns the smallest wall-clock lower bound, strictly in
+// the future, among the fetches at the head of their disk queues whose
+// request-count anchor is already satisfied.  It returns -1 if there is none.
+func (ex *executor) earliestTimeGate() int {
+	best := -1
+	for d := range ex.queues {
+		if ex.flights[d].active || ex.qpos[d] >= len(ex.queues[d]) {
+			continue
+		}
+		qf := ex.queues[d][ex.qpos[d]]
+		if qf.After > ex.served || qf.MinTime <= ex.time {
+			continue
+		}
+		if best == -1 || qf.MinTime < best {
+			best = qf.MinTime
+		}
+	}
+	return best
+}
+
+// earliestCompletion returns the earliest completion time among in-flight
+// fetches, or -1 if no fetch is in flight.
+func (ex *executor) earliestCompletion() int {
+	best := -1
+	for d := range ex.flights {
+		if ex.flights[d].active && (best == -1 || ex.flights[d].done < best) {
+			best = ex.flights[d].done
+		}
+	}
+	return best
+}
+
+func (ex *executor) run() error {
+	n := ex.in.N()
+	if err := ex.noteResidency(); err != nil {
+		return err
+	}
+	for {
+		if err := ex.deliver(); err != nil {
+			return err
+		}
+		if err := ex.startEligible(); err != nil {
+			return err
+		}
+		if ex.served == n {
+			break
+		}
+		b := ex.in.Seq[ex.served]
+		if ex.cache[b] {
+			ex.event(Event{Kind: EventServe, Request: ex.served, Block: b})
+			ex.time++
+			ex.served++
+			continue
+		}
+		// The requested block is missing: stall until it arrives, letting
+		// in-flight fetches progress and starting newly startable fetches as
+		// disks become idle.
+		if d := ex.diskFetching(b); d >= 0 {
+			done := ex.flights[d].done
+			ex.addStall(done - ex.time)
+			ex.time = done
+			continue
+		}
+		if !ex.reachable(b) {
+			return &MissingBlockError{Request: ex.served, Block: b}
+		}
+		done := ex.earliestCompletion()
+		if done < 0 {
+			// Nothing is in flight, so the fetch chain leading to b must be
+			// waiting on a wall-clock lower bound: idle until the earliest
+			// such bound (this counts as stall).
+			gate := ex.earliestTimeGate()
+			if gate <= ex.time {
+				return &MissingBlockError{Request: ex.served, Block: b}
+			}
+			ex.addStall(gate - ex.time)
+			ex.time = gate
+			continue
+		}
+		ex.addStall(done - ex.time)
+		ex.time = done
+	}
+	ex.res.Stall = ex.stall
+	ex.res.Requests = n
+	ex.res.Elapsed = n + ex.stall
+	ex.res.ExtraCache = ex.res.MaxResident - ex.in.K
+	if ex.res.ExtraCache < 0 {
+		ex.res.ExtraCache = 0
+	}
+	return nil
+}
+
+func (ex *executor) addStall(d int) {
+	if d <= 0 {
+		return
+	}
+	ex.stall += d
+	ex.res.PerRequestStall[ex.served] += d
+	ex.event(Event{Kind: EventStall, Request: ex.served, Duration: d})
+}

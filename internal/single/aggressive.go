@@ -1,0 +1,50 @@
+package single
+
+import (
+	"pfcache/internal/core"
+)
+
+// Aggressive computes the schedule of the Aggressive algorithm of Cao et al.
+// on a single-disk instance.
+//
+// Whenever the disk is idle, Aggressive initiates a prefetch for the next
+// missing block in the sequence, provided it can evict a cached block that is
+// not requested before the block to be fetched; it evicts the cached block
+// whose next reference is furthest in the future.  Theorem 1 of the paper
+// shows that its elapsed time is at most min{1 + F/(k + ceil(k/F) - 1), 2}
+// times optimal, and Theorem 2 shows this is asymptotically tight.
+func Aggressive(in *core.Instance) (*core.Schedule, error) {
+	d, err := newDriver(in)
+	if err != nil {
+		return nil, err
+	}
+	return d.run(aggressivePolicy{})
+}
+
+type aggressivePolicy struct{}
+
+func (aggressivePolicy) decide(dr *driver) *pendingFetch {
+	i := dr.served
+	j := dr.nextMissing(i)
+	if j < 0 {
+		dr.noMoreWork = true
+		return nil
+	}
+	b := dr.in.Seq[j]
+	// A free cache location is never requested again, so it is always a legal
+	// "eviction" choice and the fetch can start immediately.
+	if dr.freeSlots > 0 {
+		return &pendingFetch{anchor: i, block: b, evict: core.NoBlock}
+	}
+	victim, ref := dr.ix.FurthestNext(dr.cachedBlocks(), i)
+	if victim == core.NoBlock {
+		// Cannot happen: k >= 1 and freeSlots == 0 imply a non-empty cache.
+		return nil
+	}
+	if ref < j {
+		// Every cached block is requested again before r_j: initiating a
+		// fetch now would evict a block needed earlier than the fetched one.
+		return nil
+	}
+	return &pendingFetch{anchor: i, block: b, evict: victim}
+}

@@ -1,0 +1,67 @@
+package single
+
+import "math"
+
+// AggressiveUpperBound returns the elapsed-time approximation guarantee of
+// the Aggressive algorithm proved in Theorem 1 of the paper:
+// min{1 + F/(k + ceil(k/F) - 1), 2}.
+func AggressiveUpperBound(k, f int) float64 {
+	if k <= 0 || f <= 0 {
+		return 1
+	}
+	ceil := (k + f - 1) / f
+	r := 1 + float64(f)/float64(k+ceil-1)
+	return math.Min(r, 2)
+}
+
+// CaoAggressiveBound returns the original, weaker bound of Cao et al. on the
+// Aggressive algorithm: min{1 + F/k, 2}.  The experiment harness reports it
+// next to the refined bound of Theorem 1.
+func CaoAggressiveBound(k, f int) float64 {
+	if k <= 0 || f <= 0 {
+		return 1
+	}
+	return math.Min(1+float64(f)/float64(k), 2)
+}
+
+// AggressiveLowerBound returns the asymptotic lower bound of Theorem 2 on the
+// approximation ratio of Aggressive: min{1 + F/(k + (k-1)/(F-1)), 2} for
+// F > 1 (the bound degenerates to 1 for F <= 1).
+func AggressiveLowerBound(k, f int) float64 {
+	if f <= 1 || k <= 0 {
+		return 1
+	}
+	r := 1 + float64(f)/(float64(k)+float64(k-1)/float64(f-1))
+	return math.Min(r, 2)
+}
+
+// ConservativeUpperBound returns the approximation guarantee of the
+// Conservative algorithm (2, shown by Cao et al. and tight).
+func ConservativeUpperBound() float64 { return 2 }
+
+// DelayUpperBound returns the elapsed-time approximation guarantee of
+// Delay(d) proved in Theorem 3: max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)}.
+func DelayUpperBound(d, f int) float64 {
+	if f <= 0 {
+		return 1
+	}
+	df := float64(d)
+	ff := float64(f)
+	a := (df + ff) / ff
+	b := (df + 2*ff) / (df + ff)
+	c := 3 * (df + ff) / (df + 2*ff)
+	return math.Max(a, math.Max(b, c))
+}
+
+// BestDelay returns d0 = floor((sqrt(3)-1)/2 * F), the delay for which the
+// bound of Theorem 3 approaches sqrt(3) (Corollary 1).
+func BestDelay(f int) int {
+	return int(math.Floor((math.Sqrt(3) - 1) / 2 * float64(f)))
+}
+
+// CombinationUpperBound returns the guarantee of the Combination algorithm of
+// Corollary 2: min{1 + F/(k + ceil(k/F) - 1), DelayUpperBound(BestDelay(F), F)},
+// which tends to min{1 + F/(k + ceil(k/F) - 1), sqrt(3)} as F grows.
+func CombinationUpperBound(k, f int) float64 {
+	return math.Min(AggressiveUpperBound(k, f), DelayUpperBound(BestDelay(f), f))
+}

@@ -1,0 +1,34 @@
+package single
+
+import (
+	"pfcache/internal/core"
+)
+
+// Combination computes the schedule of the Combination algorithm of
+// Corollary 2 of the paper: it runs Delay(d0) with d0 = BestDelay(F) if the
+// analytic bound of Delay(d0) is smaller than the Theorem 1 bound of
+// Aggressive for the instance's k and F, and the standard Aggressive strategy
+// otherwise.  Its approximation ratio is therefore
+// min{1 + F/(k + ceil(k/F) - 1), DelayUpperBound(d0, F)}, which tends to
+// min{1 + F/(k + ceil(k/F) - 1), sqrt(3)}.
+func Combination(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	d0 := BestDelay(in.F)
+	if DelayUpperBound(d0, in.F) < AggressiveUpperBound(in.K, in.F) {
+		return Delay(in, d0)
+	}
+	return Aggressive(in)
+}
+
+// CombinationChoice reports which strategy Combination selects for a cache of
+// size k and fetch time F, returning the delay parameter it would use and
+// true when it picks Delay(d0), or 0 and false when it picks Aggressive.
+func CombinationChoice(k, f int) (int, bool) {
+	d0 := BestDelay(f)
+	if DelayUpperBound(d0, f) < AggressiveUpperBound(k, f) {
+		return d0, true
+	}
+	return 0, false
+}

@@ -1,0 +1,58 @@
+package single
+
+import (
+	"pfcache/internal/core"
+	"pfcache/internal/paging"
+)
+
+// Conservative computes the schedule of the Conservative algorithm of Cao et
+// al. on a single-disk instance.
+//
+// Conservative performs exactly the block replacements of the optimal offline
+// paging algorithm MIN and initiates each fetch at the earliest point in time
+// that is consistent with the chosen eviction, i.e. immediately after the
+// last reference to the evicted block that precedes the faulting request
+// (and, implicitly, not before the previous fetch has completed, since a
+// single disk performs fetches sequentially).  Its elapsed time is at most
+// twice optimal, and this bound is tight.
+func Conservative(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Disks != 1 {
+		return nil, &ErrNotSingleDisk{Disks: in.Disks}
+	}
+	ix := core.NewIndex(in.Seq)
+	decisions := paging.MIN(in.Seq, in.K, in.InitialCache)
+	sched := &core.Schedule{}
+	for _, dec := range decisions {
+		anchor := 0
+		if dec.Victim != core.NoBlock {
+			if last := ix.LastBefore(dec.Victim, dec.Pos); last >= 0 {
+				anchor = last + 1
+			}
+		}
+		sched.Append(core.NewFetch(0, anchor, dec.Block, dec.Victim))
+	}
+	return sched, nil
+}
+
+// Demand computes the schedule of the classical demand-paging baseline with
+// the given replacement policy: a missing block is fetched only when it is
+// requested, so every fault costs the full fetch time F in stall.  It is the
+// "no prefetching" baseline against which the integrated algorithms are
+// compared in the experiment harness.
+func Demand(in *core.Instance, policy paging.Policy) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Disks != 1 {
+		return nil, &ErrNotSingleDisk{Disks: in.Disks}
+	}
+	decisions := paging.Run(policy, in.Seq, in.K, in.InitialCache)
+	sched := &core.Schedule{}
+	for _, dec := range decisions {
+		sched.Append(core.NewFetch(0, dec.Pos, dec.Block, dec.Victim))
+	}
+	return sched, nil
+}

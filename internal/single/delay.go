@@ -1,0 +1,65 @@
+package single
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+)
+
+// Delay computes the schedule of the Delay(d) algorithm introduced in
+// Section 2 of the paper for a single-disk instance.
+//
+// Let r_i be the next request to be served and r_j the next request whose
+// block is missing.  If every cached block is requested again before r_j,
+// Delay serves r_i without initiating a fetch.  Otherwise it sets
+// d' = min{d, j-i}, picks as eviction victim the cached block whose next
+// request after r_{i+d'-1} is furthest in the future, and commits to fetching
+// r_j's block at the earliest point after r_{i-1} at which the victim is not
+// requested again before r_j.  For d = 0 the algorithm behaves like
+// Aggressive; for d at least the sequence length it behaves like
+// Conservative.  Theorem 3 bounds its elapsed-time approximation ratio by
+// max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)}.
+func Delay(in *core.Instance, d int) (*core.Schedule, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("single: Delay needs a non-negative delay, got %d", d)
+	}
+	dr, err := newDriver(in)
+	if err != nil {
+		return nil, err
+	}
+	return dr.run(&delayPolicy{d: d})
+}
+
+type delayPolicy struct {
+	d int
+}
+
+func (p *delayPolicy) decide(dr *driver) *pendingFetch {
+	i := dr.served
+	j := dr.nextMissing(i)
+	if j < 0 {
+		dr.noMoreWork = true
+		return nil
+	}
+	b := dr.in.Seq[j]
+	// A free cache location is never requested, so the fetch may start now.
+	if dr.freeSlots > 0 {
+		return &pendingFetch{anchor: i, block: b, evict: core.NoBlock}
+	}
+	cached := dr.cachedBlocks()
+	if _, furthest := dr.ix.FurthestNext(cached, i); furthest < j {
+		// All blocks in cache are requested before r_j: serve r_i without
+		// initiating a fetch and reconsider at the next request.
+		return nil
+	}
+	dprime := p.d
+	if j-i < dprime {
+		dprime = j - i
+	}
+	victim, _ := dr.ix.FurthestNext(cached, i+dprime)
+	anchor := i
+	if last := dr.ix.LastBefore(victim, j); last >= i {
+		anchor = last + 1
+	}
+	return &pendingFetch{anchor: anchor, block: b, evict: victim}
+}

@@ -1,0 +1,30 @@
+// Package single implements the single-disk integrated prefetching and
+// caching algorithms studied in Section 2 of the paper:
+//
+//   - Aggressive: whenever the disk is idle, start a prefetch for the next
+//     missing block, provided some cached block is not requested before that
+//     block; evict the cached block whose next reference is furthest in the
+//     future.  Theorem 1 of the paper bounds its elapsed-time approximation
+//     ratio by min{1 + F/(k + ceil(k/F) - 1), 2}.
+//
+//   - Conservative: perform exactly the block replacements of the optimal
+//     offline paging algorithm MIN, starting each fetch at the earliest point
+//     consistent with the chosen eviction.  Its approximation ratio is 2.
+//
+//   - Delay(d): the family introduced by the paper that bridges Aggressive
+//     (d = 0) and Conservative (d = |sigma|): the next fetch is delayed so
+//     that the victim chosen d requests ahead need not be given up early.
+//     Theorem 3 bounds its ratio by max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)},
+//     which is minimised near d0 = floor((sqrt(3)-1)/2 * F) at sqrt(3).
+//
+//   - Combination: run Delay(d0) or Aggressive, whichever has the better
+//     analytic bound for the instance's k and F (Corollary 2).
+//
+//   - Demand: the classical no-prefetching baseline that fetches a block only
+//     when it is requested, with MIN, LRU or FIFO replacement.
+//
+// Every algorithm returns a core.Schedule; costs are obtained by executing
+// the schedule with package sim.  All algorithms in this package require a
+// single-disk instance; their parallel-disk counterparts live in package
+// parallel.
+package single

@@ -1,0 +1,156 @@
+package single
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+)
+
+// ErrNotSingleDisk is returned when a single-disk algorithm is given a
+// parallel-disk instance.
+type ErrNotSingleDisk struct {
+	Disks int
+}
+
+func (e *ErrNotSingleDisk) Error() string {
+	return fmt.Sprintf("single: instance has %d disks; use package parallel", e.Disks)
+}
+
+// pendingFetch is a fetch that a policy has committed to but that starts only
+// once its anchor has been reached (used by Delay, whose definition commits
+// to a fetch before the position at which it is initiated).
+type pendingFetch struct {
+	anchor int
+	block  core.BlockID
+	evict  core.BlockID // NoBlock means "use a free cache location"
+}
+
+// driver simulates the single-disk system while a policy decides when to
+// start fetches.  It mirrors the semantics of the executor in package sim but
+// exposes the cache state to the policy at every decision point.  The fetches
+// it emits, replayed through sim.Run, reproduce exactly the stall time the
+// driver itself observes (this equivalence is asserted in the tests).
+type driver struct {
+	in *core.Instance
+	ix *core.Index
+
+	cache     map[core.BlockID]bool
+	freeSlots int
+
+	time      int
+	served    int
+	stall     int
+	inflight  core.BlockID // NoBlock when the disk is idle
+	busyUntil int
+
+	pending    *pendingFetch
+	noMoreWork bool // set by policies when no further fetch will ever be needed
+
+	sched *core.Schedule
+}
+
+// policy decides, at a decision point (disk idle, no pending commitment),
+// whether to commit to a fetch.  It returns nil when no fetch is initiated at
+// this point.
+type policy interface {
+	decide(d *driver) *pendingFetch
+}
+
+func newDriver(in *core.Instance) (*driver, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Disks != 1 {
+		return nil, &ErrNotSingleDisk{Disks: in.Disks}
+	}
+	d := &driver{
+		in:        in,
+		ix:        core.NewIndex(in.Seq),
+		cache:     make(map[core.BlockID]bool, in.K),
+		freeSlots: in.K - len(in.InitialCache),
+		inflight:  core.NoBlock,
+		sched:     &core.Schedule{},
+	}
+	for _, b := range in.InitialCache {
+		d.cache[b] = true
+	}
+	return d, nil
+}
+
+// cachedBlocks returns the blocks currently resident (excluding the in-flight
+// block).
+func (d *driver) cachedBlocks() []core.BlockID {
+	out := make([]core.BlockID, 0, len(d.cache))
+	for b := range d.cache {
+		out = append(out, b)
+	}
+	return out
+}
+
+// nextMissing returns the position of the next request at or after pos whose
+// block is neither cached, in flight, nor the block of the pending fetch.  It
+// returns -1 if every remaining request is covered.
+func (d *driver) nextMissing(pos int) int {
+	for p := pos; p < d.in.N(); p++ {
+		b := d.in.Seq[p]
+		if d.cache[b] || b == d.inflight {
+			continue
+		}
+		if d.pending != nil && d.pending.block == b {
+			continue
+		}
+		return p
+	}
+	return -1
+}
+
+// run drives the simulation to completion using the given policy and returns
+// the emitted schedule.
+func (d *driver) run(p policy) (*core.Schedule, error) {
+	n := d.in.N()
+	for d.served < n {
+		// Deliver a completed fetch.
+		if d.inflight != core.NoBlock && d.time >= d.busyUntil {
+			d.cache[d.inflight] = true
+			d.inflight = core.NoBlock
+		}
+		// Ask the policy for a decision when the disk is idle and no fetch is
+		// already committed.
+		if d.inflight == core.NoBlock && d.pending == nil && !d.noMoreWork {
+			d.pending = p.decide(d)
+		}
+		// Start the committed fetch once its anchor has been reached.
+		if d.pending != nil && d.inflight == core.NoBlock && d.served >= d.pending.anchor {
+			pf := d.pending
+			d.pending = nil
+			if pf.evict != core.NoBlock {
+				if !d.cache[pf.evict] {
+					return nil, fmt.Errorf("single: policy evicted absent block %v at request %d", pf.evict, d.served)
+				}
+				delete(d.cache, pf.evict)
+			} else {
+				if d.freeSlots <= 0 {
+					return nil, fmt.Errorf("single: policy used a free cache location but none is available at request %d", d.served)
+				}
+				d.freeSlots--
+			}
+			d.inflight = pf.block
+			d.busyUntil = d.time + d.in.F
+			d.sched.Append(core.NewFetch(0, pf.anchor, pf.block, pf.evict))
+		}
+		b := d.in.Seq[d.served]
+		switch {
+		case d.cache[b]:
+			d.time++
+			d.served++
+		case d.inflight != core.NoBlock:
+			// Stall until the in-flight fetch completes (whether or not it
+			// delivers b; if it does not, the next decision point handles b).
+			d.stall += d.busyUntil - d.time
+			d.time = d.busyUntil
+		default:
+			return nil, fmt.Errorf("single: request %d block %v is missing but the policy did not fetch it", d.served, b)
+		}
+	}
+	return d.sched, nil
+}

@@ -1,0 +1,93 @@
+package single
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+)
+
+// OnlineAggressive is an online variant of the Aggressive algorithm with a
+// bounded lookahead window, addressing the open problem raised in the paper's
+// conclusion ("investigate online variants of the problem when only limited
+// information about the future is available").
+//
+// The algorithm sees, at any decision point, only the next `lookahead`
+// requests (including the current one).  Whenever the disk is idle it fetches
+// the first block within the window that is missing from the cache, provided
+// it can evict a block that is not requested within the window before that
+// block; the victim is the cached block whose next reference within the
+// window is furthest (blocks not referenced within the window at all are
+// preferred, ties broken by block identity).  With lookahead >= n it behaves
+// exactly like the offline Aggressive algorithm.
+func OnlineAggressive(in *core.Instance, lookahead int) (*core.Schedule, error) {
+	if lookahead < 1 {
+		return nil, fmt.Errorf("single: OnlineAggressive needs a lookahead of at least 1, got %d", lookahead)
+	}
+	d, err := newDriver(in)
+	if err != nil {
+		return nil, err
+	}
+	return d.run(&onlineAggressivePolicy{lookahead: lookahead})
+}
+
+type onlineAggressivePolicy struct {
+	lookahead int
+}
+
+// windowNext returns the next reference of block b within the visible window
+// [pos, pos+lookahead), or core.NoRef if b is not referenced there.  Online
+// algorithms must not peek beyond the window, so references further out are
+// indistinguishable from "never again".
+func (p *onlineAggressivePolicy) windowNext(dr *driver, b core.BlockID, pos int) int {
+	ref := dr.ix.NextAt(b, pos)
+	if ref == core.NoRef || ref >= pos+p.lookahead {
+		return core.NoRef
+	}
+	return ref
+}
+
+func (p *onlineAggressivePolicy) decide(dr *driver) *pendingFetch {
+	i := dr.served
+	end := i + p.lookahead
+	if end > dr.in.N() {
+		end = dr.in.N()
+	}
+	// The next missing block visible in the window.
+	j := -1
+	for pos := i; pos < end; pos++ {
+		b := dr.in.Seq[pos]
+		if dr.cache[b] || b == dr.inflight {
+			continue
+		}
+		if dr.pending != nil && dr.pending.block == b {
+			continue
+		}
+		j = pos
+		break
+	}
+	if j < 0 {
+		// Nothing missing is visible; unlike the offline policy we must keep
+		// looking as the window slides, so noMoreWork stays unset.
+		return nil
+	}
+	b := dr.in.Seq[j]
+	if dr.freeSlots > 0 {
+		return &pendingFetch{anchor: i, block: b, evict: core.NoBlock}
+	}
+	// Victim: the cached block whose next visible reference is furthest
+	// (not referenced within the window counts as furthest).
+	victim := core.NoBlock
+	victimRef := -1
+	for _, c := range dr.cachedBlocks() {
+		ref := p.windowNext(dr, c, i)
+		if victim == core.NoBlock || ref > victimRef || (ref == victimRef && c < victim) {
+			victim, victimRef = c, ref
+		}
+	}
+	if victim == core.NoBlock || (victimRef != core.NoRef && victimRef < j) {
+		// Every cached block is requested before the missing block within the
+		// visible window: serve the current request and reconsider.
+		return nil
+	}
+	return &pendingFetch{anchor: i, block: b, evict: victim}
+}

@@ -1,0 +1,108 @@
+package single
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfcache/internal/core"
+	"pfcache/internal/sim"
+	"pfcache/internal/workload"
+)
+
+// TestOnlineAggressiveValidation checks parameter validation.
+func TestOnlineAggressiveValidation(t *testing.T) {
+	in := core.SingleDisk(core.Sequence{0, 1}, 1, 1)
+	if _, err := OnlineAggressive(in, 0); err == nil {
+		t.Errorf("lookahead 0 accepted")
+	}
+	multi := core.MultiDisk(core.Sequence{0}, 1, 1, 2, map[core.BlockID]int{0: 0})
+	if _, err := OnlineAggressive(multi, 4); err == nil {
+		t.Errorf("multi-disk instance accepted")
+	}
+}
+
+// TestOnlineAggressiveFullLookaheadMatchesOffline checks that with full
+// lookahead the online algorithm coincides with offline Aggressive.
+func TestOnlineAggressiveFullLookaheadMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		seq := workload.Uniform(60, 4+rng.Intn(8), int64(trial))
+		in := core.SingleDisk(seq, 2+rng.Intn(4), 1+rng.Intn(5))
+		off, err := Aggressive(in)
+		if err != nil {
+			t.Fatalf("Aggressive: %v", err)
+		}
+		on, err := OnlineAggressive(in, in.N())
+		if err != nil {
+			t.Fatalf("OnlineAggressive: %v", err)
+		}
+		offRes, err := sim.Run(in, off, sim.Options{})
+		if err != nil {
+			t.Fatalf("offline schedule: %v", err)
+		}
+		onRes, err := sim.Run(in, on, sim.Options{})
+		if err != nil {
+			t.Fatalf("online schedule: %v", err)
+		}
+		if offRes.Elapsed != onRes.Elapsed {
+			t.Fatalf("trial %d: full-lookahead online elapsed %d != offline %d",
+				trial, onRes.Elapsed, offRes.Elapsed)
+		}
+	}
+}
+
+// TestOnlineAggressiveFeasibleForAllLookaheads checks feasibility and the
+// broad benefit-of-lookahead trend: more lookahead never makes the mean
+// elapsed time dramatically worse, and the demand-like behaviour of
+// lookahead 1 is the worst case.
+func TestOnlineAggressiveFeasibleForAllLookaheads(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		seq := workload.Zipf(80, 10, 1.1, int64(trial))
+		in := core.SingleDisk(seq, 4, 1+rng.Intn(5))
+		elapsedAt := func(w int) int {
+			sched, err := OnlineAggressive(in, w)
+			if err != nil {
+				t.Fatalf("OnlineAggressive(%d): %v", w, err)
+			}
+			res, err := sim.Run(in, sched, sim.Options{})
+			if err != nil {
+				t.Fatalf("OnlineAggressive(%d): infeasible: %v", w, err)
+			}
+			if res.ExtraCache != 0 {
+				t.Fatalf("OnlineAggressive(%d): used extra cache", w)
+			}
+			return res.Elapsed
+		}
+		demandLike := elapsedAt(1)
+		full := elapsedAt(in.N())
+		if full > demandLike {
+			t.Fatalf("trial %d: full lookahead (%d) worse than lookahead 1 (%d)", trial, full, demandLike)
+		}
+		for _, w := range []int{2, 4, 8, 16, 32} {
+			elapsedAt(w)
+		}
+	}
+}
+
+// TestOnlineAggressiveLookaheadOneIsDemandLike checks that with lookahead 1
+// the algorithm can only react to the current request, so every fault costs
+// the full fetch time, exactly like demand paging.
+func TestOnlineAggressiveLookaheadOneIsDemandLike(t *testing.T) {
+	seq := workload.Loop(6, 4)
+	in := core.SingleDisk(seq, 3, 4)
+	sched, err := OnlineAggressive(in, 1)
+	if err != nil {
+		t.Fatalf("OnlineAggressive: %v", err)
+	}
+	res, err := sim.Run(in, sched, sim.Options{})
+	if err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if res.Stall%in.F != 0 {
+		t.Fatalf("with lookahead 1 every fault should stall a full fetch time; stall=%d F=%d", res.Stall, in.F)
+	}
+	if res.Stall != res.FetchCount*in.F {
+		t.Fatalf("stall %d != fetches %d * F %d", res.Stall, res.FetchCount, in.F)
+	}
+}

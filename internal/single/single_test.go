@@ -1,0 +1,427 @@
+package single
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfcache/internal/core"
+	"pfcache/internal/paging"
+	"pfcache/internal/sim"
+	"pfcache/internal/workload"
+)
+
+// introInstance is the single-disk worked example from the paper's
+// introduction: sigma = b1 b2 b3 b4 b4 b5 b1 b4 b4 b2, k = 4, F = 4, with
+// b1..b4 initially cached (blocks renumbered from 0).
+func introInstance() *core.Instance {
+	seq := core.Sequence{0, 1, 2, 3, 3, 4, 0, 3, 3, 1}
+	return core.SingleDisk(seq, 4, 4).WithInitialCache(0, 1, 2, 3)
+}
+
+func mustRun(t *testing.T, in *core.Instance, sched *core.Schedule) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(in, sched, sim.Options{})
+	if err != nil {
+		t.Fatalf("schedule infeasible: %v\n%v", err, sched)
+	}
+	return res
+}
+
+// TestAggressiveIntroExample checks that Aggressive reproduces the first
+// schedule discussed in the paper's introduction: it fetches b5 as soon as it
+// can evict a block not requested before b5 (after serving b1, evicting b1),
+// which leads to elapsed time 13.
+func TestAggressiveIntroExample(t *testing.T) {
+	in := introInstance()
+	sched, err := Aggressive(in)
+	if err != nil {
+		t.Fatalf("Aggressive: %v", err)
+	}
+	res := mustRun(t, in, sched)
+	if res.Elapsed != 13 || res.Stall != 3 {
+		t.Fatalf("Aggressive elapsed=%d stall=%d, want 13 and 3\n%v", res.Elapsed, res.Stall, sched)
+	}
+	// The first fetch must start at the request to b2 and evict b1.
+	f := sched.Fetches[0]
+	if f.After != 1 || f.Block != 4 || f.Evict != 0 {
+		t.Fatalf("first Aggressive fetch = %v, want +b4 -b0 at anchor 1", f)
+	}
+}
+
+// TestConservativeIntroExample checks Conservative on the same example: MIN
+// faults once (on b5) and evicts b3, the cached block that is never requested
+// again; the fetch starts right after the last reference to b3, giving
+// elapsed time 12.
+func TestConservativeIntroExample(t *testing.T) {
+	in := introInstance()
+	sched, err := Conservative(in)
+	if err != nil {
+		t.Fatalf("Conservative: %v", err)
+	}
+	if sched.Len() != 1 {
+		t.Fatalf("Conservative fetch count = %d, want 1\n%v", sched.Len(), sched)
+	}
+	f := sched.Fetches[0]
+	if f.Block != 4 || f.Evict != 2 || f.After != 3 {
+		t.Fatalf("Conservative fetch = %v, want +b4 -b2 at anchor 3", f)
+	}
+	res := mustRun(t, in, sched)
+	if res.Elapsed != 12 || res.Stall != 2 {
+		t.Fatalf("Conservative elapsed=%d stall=%d, want 12 and 2", res.Elapsed, res.Stall)
+	}
+}
+
+// TestDelayOneIntroExample checks that Delay(1) finds the better schedule of
+// the introduction (elapsed time 11): by looking one request ahead it evicts
+// a block whose next reference is late and delays the fetch accordingly.
+func TestDelayOneIntroExample(t *testing.T) {
+	in := introInstance()
+	sched, err := Delay(in, 1)
+	if err != nil {
+		t.Fatalf("Delay: %v", err)
+	}
+	res := mustRun(t, in, sched)
+	if res.Elapsed != 11 || res.Stall != 1 {
+		t.Fatalf("Delay(1) elapsed=%d stall=%d, want 11 and 1\n%v", res.Elapsed, res.Stall, sched)
+	}
+}
+
+// TestDelayZeroMatchesAggressiveOnIntro checks that Delay(0) behaves like
+// Aggressive on the introduction example.
+func TestDelayZeroMatchesAggressiveOnIntro(t *testing.T) {
+	in := introInstance()
+	a, err := Aggressive(in)
+	if err != nil {
+		t.Fatalf("Aggressive: %v", err)
+	}
+	d, err := Delay(in, 0)
+	if err != nil {
+		t.Fatalf("Delay(0): %v", err)
+	}
+	ra := mustRun(t, in, a)
+	rd := mustRun(t, in, d)
+	if ra.Elapsed != rd.Elapsed {
+		t.Fatalf("Delay(0) elapsed %d != Aggressive elapsed %d", rd.Elapsed, ra.Elapsed)
+	}
+}
+
+// TestDemandBaseline checks that the demand-paging baseline pays the full
+// fetch time for every MIN fault.
+func TestDemandBaseline(t *testing.T) {
+	in := introInstance()
+	sched, err := Demand(in, paging.PolicyMIN)
+	if err != nil {
+		t.Fatalf("Demand: %v", err)
+	}
+	res := mustRun(t, in, sched)
+	faults := len(paging.MIN(in.Seq, in.K, in.InitialCache))
+	if res.Stall != faults*in.F {
+		t.Fatalf("demand stall = %d, want %d", res.Stall, faults*in.F)
+	}
+}
+
+// TestDemandLRUAndFIFOFeasible checks the other demand baselines produce
+// feasible schedules.
+func TestDemandLRUAndFIFOFeasible(t *testing.T) {
+	seq := workload.Uniform(200, 12, 3)
+	in := core.SingleDisk(seq, 4, 5)
+	for _, p := range []paging.Policy{paging.PolicyLRU, paging.PolicyFIFO} {
+		sched, err := Demand(in, p)
+		if err != nil {
+			t.Fatalf("Demand(%v): %v", p, err)
+		}
+		res := mustRun(t, in, sched)
+		faults := len(paging.Run(p, in.Seq, in.K, in.InitialCache))
+		if res.Stall != faults*in.F {
+			t.Fatalf("Demand(%v) stall = %d, want %d", p, res.Stall, faults*in.F)
+		}
+	}
+}
+
+// TestSingleDiskOnlyRejectsParallelInstances checks that all single-disk
+// algorithms reject multi-disk instances.
+func TestSingleDiskOnlyRejectsParallelInstances(t *testing.T) {
+	seq := core.Sequence{0, 1}
+	in := core.MultiDisk(seq, 2, 2, 2, map[core.BlockID]int{0: 0, 1: 1})
+	if _, err := Aggressive(in); err == nil {
+		t.Errorf("Aggressive accepted a multi-disk instance")
+	}
+	if _, err := Conservative(in); err == nil {
+		t.Errorf("Conservative accepted a multi-disk instance")
+	}
+	if _, err := Delay(in, 1); err == nil {
+		t.Errorf("Delay accepted a multi-disk instance")
+	}
+	if _, err := Demand(in, paging.PolicyMIN); err == nil {
+		t.Errorf("Demand accepted a multi-disk instance")
+	}
+	var e *ErrNotSingleDisk
+	if _, err := Aggressive(in); err != nil {
+		e = err.(*ErrNotSingleDisk)
+		if e.Error() == "" || e.Disks != 2 {
+			t.Errorf("unexpected error detail: %v", e)
+		}
+	}
+}
+
+// TestInvalidInputs checks parameter validation.
+func TestInvalidInputs(t *testing.T) {
+	seq := core.Sequence{0}
+	bad := core.SingleDisk(seq, 0, 1)
+	if _, err := Aggressive(bad); err == nil {
+		t.Errorf("Aggressive accepted an invalid instance")
+	}
+	if _, err := Conservative(bad); err == nil {
+		t.Errorf("Conservative accepted an invalid instance")
+	}
+	if _, err := Combination(bad); err == nil {
+		t.Errorf("Combination accepted an invalid instance")
+	}
+	if _, err := Demand(bad, paging.PolicyMIN); err == nil {
+		t.Errorf("Demand accepted an invalid instance")
+	}
+	good := core.SingleDisk(seq, 1, 1)
+	if _, err := Delay(good, -1); err == nil {
+		t.Errorf("Delay accepted a negative delay")
+	}
+}
+
+// TestAggressiveLowerBoundConstruction runs Aggressive and the optimal-style
+// schedule implied by Theorem 2 on the adversarial instance and checks that
+// Aggressive's elapsed time per phase matches the analysis: k + l + F time
+// units for Aggressive versus k + l + 2 for the optimum.
+func TestAggressiveLowerBoundConstruction(t *testing.T) {
+	k, f, phases := 7, 4, 6
+	in, err := workload.AggressiveAdversary(k, f, phases)
+	if err != nil {
+		t.Fatalf("AggressiveAdversary: %v", err)
+	}
+	l := (k - 1) / (f - 1)
+	sched, err := Aggressive(in)
+	if err != nil {
+		t.Fatalf("Aggressive: %v", err)
+	}
+	res := mustRun(t, in, sched)
+	// Per the Theorem 2 analysis Aggressive needs k + l + F time units per
+	// phase; only the F-1 units of stall spent re-loading a1 at the start of
+	// the (non-existent) phase after the last one are saved.
+	wantAggr := phases*(k+l+f) - (f - 1)
+	if res.Elapsed != wantAggr {
+		t.Fatalf("Aggressive elapsed = %d, want %d (k=%d F=%d l=%d phases=%d)",
+			res.Elapsed, wantAggr, k, f, l, phases)
+	}
+	// Conservative (MIN replacements, earliest start) realises the optimal
+	// behaviour described in Theorem 2 on this instance: per phase it evicts
+	// only the previous phase's blocks and pays 2 units of stall.
+	cons, err := Conservative(in)
+	if err != nil {
+		t.Fatalf("Conservative: %v", err)
+	}
+	cres := mustRun(t, in, cons)
+	wantOpt := phases * (k + l + 2)
+	if cres.Elapsed > wantOpt {
+		t.Fatalf("Conservative elapsed = %d, want at most %d", cres.Elapsed, wantOpt)
+	}
+	ratio := float64(res.Elapsed) / float64(cres.Elapsed)
+	// The ratio must approach (k+l+F)/(k+l+2) as the number of phases grows;
+	// with 6 phases it is already well above the trivial ratio 1 and below
+	// the Theorem 1 upper bound.
+	lower := float64(wantAggr) / float64(wantOpt)
+	if ratio < lower-1e-9 {
+		t.Fatalf("ratio = %f, want at least %f", ratio, lower)
+	}
+	if ratio > AggressiveUpperBound(k, f)+1e-9 {
+		t.Fatalf("ratio = %f exceeds the Theorem 1 bound %f", ratio, AggressiveUpperBound(k, f))
+	}
+}
+
+// TestBoundsFormulas spot-checks the analytic bounds.
+func TestBoundsFormulas(t *testing.T) {
+	// k=7, F=4: ceil(7/4)=2, bound = 1 + 4/(7+2-1) = 1.5.
+	if got := AggressiveUpperBound(7, 4); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("AggressiveUpperBound(7,4) = %f, want 1.5", got)
+	}
+	// The refined bound is never worse than Cao et al.'s bound.
+	for k := 1; k <= 40; k++ {
+		for f := 1; f <= 40; f++ {
+			refined := AggressiveUpperBound(k, f)
+			cao := CaoAggressiveBound(k, f)
+			if refined > cao+1e-12 {
+				t.Fatalf("refined bound %f worse than Cao bound %f for k=%d F=%d", refined, cao, k, f)
+			}
+			lower := AggressiveLowerBound(k, f)
+			if lower > refined+1e-9 {
+				t.Fatalf("lower bound %f exceeds upper bound %f for k=%d F=%d", lower, refined, k, f)
+			}
+		}
+	}
+	if got := AggressiveUpperBound(0, 3); got != 1 {
+		t.Errorf("degenerate AggressiveUpperBound = %f", got)
+	}
+	if got := CaoAggressiveBound(0, 3); got != 1 {
+		t.Errorf("degenerate CaoAggressiveBound = %f", got)
+	}
+	if got := AggressiveLowerBound(3, 1); got != 1 {
+		t.Errorf("degenerate AggressiveLowerBound = %f", got)
+	}
+	if got := ConservativeUpperBound(); got != 2 {
+		t.Errorf("ConservativeUpperBound = %f", got)
+	}
+	if got := DelayUpperBound(0, 10); math.Abs(got-2) > 1e-12 {
+		t.Errorf("DelayUpperBound(0,10) = %f, want 2 (Aggressive end of the spectrum)", got)
+	}
+	if got := DelayUpperBound(3, 0); got != 1 {
+		t.Errorf("degenerate DelayUpperBound = %f", got)
+	}
+	// Corollary 1: with d0 = floor((sqrt(3)-1)/2*F) the bound tends to
+	// sqrt(3); for F = 1000 it should be within 1% of sqrt(3).
+	f := 1000
+	d0 := BestDelay(f)
+	if got := DelayUpperBound(d0, f); math.Abs(got-math.Sqrt(3)) > 0.01*math.Sqrt(3) {
+		t.Errorf("DelayUpperBound(d0,%d) = %f, want about sqrt(3)", f, got)
+	}
+	// The minimum over d of the bound is attained near d0.
+	best := math.Inf(1)
+	bestD := -1
+	for d := 0; d <= 3*f; d++ {
+		if b := DelayUpperBound(d, f); b < best {
+			best, bestD = b, d
+		}
+	}
+	if math.Abs(float64(bestD-d0)) > 2 {
+		t.Errorf("empirical best delay %d far from analytic d0 %d", bestD, d0)
+	}
+	if CombinationUpperBound(7, 4) > AggressiveUpperBound(7, 4)+1e-12 {
+		t.Errorf("Combination bound worse than Aggressive bound")
+	}
+	if CombinationUpperBound(2, 1000) > DelayUpperBound(BestDelay(1000), 1000)+1e-12 {
+		t.Errorf("Combination bound worse than Delay bound")
+	}
+}
+
+// TestCombinationChoice checks that Combination picks Delay for small caches
+// with large fetch times and Aggressive for large caches.
+func TestCombinationChoice(t *testing.T) {
+	if _, useDelay := CombinationChoice(4, 100); !useDelay {
+		t.Errorf("Combination should pick Delay for k=4, F=100")
+	}
+	if _, useDelay := CombinationChoice(1000, 4); useDelay {
+		t.Errorf("Combination should pick Aggressive for k=1000, F=4")
+	}
+	in := introInstance()
+	if _, err := Combination(in); err != nil {
+		t.Errorf("Combination: %v", err)
+	}
+}
+
+// TestAllAlgorithmsFeasibleOnRandomWorkloads is the main robustness test: on
+// random workloads of several shapes, every algorithm must produce a feasible
+// schedule that uses no extra cache locations, and the driver's notion of
+// elapsed time must match the executor's.
+func TestAllAlgorithmsFeasibleOnRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type gen func(trial int) core.Sequence
+	gens := map[string]gen{
+		"uniform": func(trial int) core.Sequence {
+			return workload.Uniform(80+rng.Intn(60), 4+rng.Intn(12), int64(trial))
+		},
+		"zipf": func(trial int) core.Sequence {
+			return workload.Zipf(80+rng.Intn(60), 4+rng.Intn(12), 1.1, int64(trial))
+		},
+		"loop": func(trial int) core.Sequence {
+			return workload.Loop(3+rng.Intn(10), 3+rng.Intn(6))
+		},
+		"phased": func(trial int) core.Sequence {
+			return workload.Phased(3, 30, 6, 2, int64(trial))
+		},
+	}
+	algos := Algorithms()
+	algos = append(algos,
+		Algorithm{Name: "delay:2", Run: func(in *core.Instance) (*core.Schedule, error) { return Delay(in, 2) }},
+		Algorithm{Name: "delay:7", Run: func(in *core.Instance) (*core.Schedule, error) { return Delay(in, 7) }},
+		Algorithm{Name: "delay:1000", Run: func(in *core.Instance) (*core.Schedule, error) { return Delay(in, 1000) }},
+	)
+	for name, g := range gens {
+		for trial := 0; trial < 10; trial++ {
+			seq := g(trial)
+			k := 2 + rng.Intn(6)
+			f := 1 + rng.Intn(8)
+			in := core.SingleDisk(seq, k, f)
+			for _, a := range algos {
+				sched, err := a.Run(in)
+				if err != nil {
+					t.Fatalf("%s on %s trial %d: %v", a.Name, name, trial, err)
+				}
+				res, err := sim.Run(in, sched, sim.Options{})
+				if err != nil {
+					t.Fatalf("%s on %s trial %d: infeasible schedule: %v", a.Name, name, trial, err)
+				}
+				if res.ExtraCache != 0 {
+					t.Fatalf("%s on %s trial %d: used %d extra cache locations", a.Name, name, trial, res.ExtraCache)
+				}
+				if res.Elapsed < in.N() {
+					t.Fatalf("%s on %s trial %d: elapsed %d below n=%d", a.Name, name, trial, res.Elapsed, in.N())
+				}
+				// Every schedule must fetch at least the cold misses.
+				if res.FetchCount < in.ColdMisses() {
+					t.Fatalf("%s on %s trial %d: only %d fetches for %d cold misses",
+						a.Name, name, trial, res.FetchCount, in.ColdMisses())
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryByName exercises the name-based lookup.
+func TestRegistryByName(t *testing.T) {
+	in := introInstance()
+	for _, name := range []string{
+		"aggressive", "conservative", "combination", "delay:auto", "delay:3",
+		"online:4", "demand-min", "demand-lru", "demand-fifo",
+	} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		sched, err := a.Run(in)
+		if err != nil {
+			t.Fatalf("%q run: %v", name, err)
+		}
+		mustRun(t, in, sched)
+	}
+	for _, name := range []string{"nope", "delay:x", "delay:-3", "online:0", "online:x"} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", name)
+		}
+	}
+	if len(Algorithms()) < 5 {
+		t.Errorf("Algorithms() returned too few entries")
+	}
+}
+
+// TestConservativeNeverExceedsTwiceDemandMIN sanity-checks a weak relative
+// guarantee that follows from the definitions: Conservative performs exactly
+// the MIN replacements, so its stall time is at most F times the number of
+// MIN faults (the demand baseline's stall), and its elapsed time is at most
+// the demand baseline's.
+func TestConservativeNeverExceedsDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		seq := workload.Uniform(60+rng.Intn(40), 5+rng.Intn(8), int64(trial))
+		in := core.SingleDisk(seq, 2+rng.Intn(5), 1+rng.Intn(6))
+		cons, err := Conservative(in)
+		if err != nil {
+			t.Fatalf("Conservative: %v", err)
+		}
+		dem, err := Demand(in, paging.PolicyMIN)
+		if err != nil {
+			t.Fatalf("Demand: %v", err)
+		}
+		rc := mustRun(t, in, cons)
+		rd := mustRun(t, in, dem)
+		if rc.Elapsed > rd.Elapsed {
+			t.Fatalf("trial %d: Conservative elapsed %d > demand elapsed %d", trial, rc.Elapsed, rd.Elapsed)
+		}
+	}
+}

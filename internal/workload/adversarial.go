@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+)
+
+// AggressiveAdversary builds the lower-bound instance of Theorem 2 of the
+// paper: a phased request sequence on which the Aggressive algorithm's
+// elapsed time approaches 1 + (F-2)/(k + (k-1)/(F-1) + 2) times the optimal
+// elapsed time, i.e. for long sequences its approximation ratio approaches
+// min{1 + F/(k + (k-1)/(F-1)), 2}.
+//
+// The construction requires F > 1, F <= k and (F-1) dividing (k-1).  Let
+// l = (k-1)/(F-1).  Every phase has k + l requests: it requests a1, then the
+// l "new" blocks introduced in the previous phase, then a2 .. a_{k-l}, and
+// finally l brand-new blocks.  The cache initially holds a1..a_{k-l} and the
+// l new blocks of a virtual phase 0.  Aggressive starts fetching the current
+// phase's new blocks right after a1, is forced to evict a1 first, and pays
+// F-1 extra stall time re-loading it; the optimum waits one request and
+// evicts the previous phase's blocks instead.
+func AggressiveAdversary(k, f, phases int) (*core.Instance, error) {
+	if f <= 1 {
+		return nil, fmt.Errorf("workload: AggressiveAdversary needs F > 1, got F=%d", f)
+	}
+	if f > k {
+		return nil, fmt.Errorf("workload: AggressiveAdversary needs F <= k, got F=%d k=%d", f, k)
+	}
+	if (k-1)%(f-1) != 0 {
+		return nil, fmt.Errorf("workload: AggressiveAdversary needs (F-1) | (k-1), got k=%d F=%d", k, f)
+	}
+	if phases < 1 {
+		return nil, fmt.Errorf("workload: AggressiveAdversary needs at least one phase, got %d", phases)
+	}
+	l := (k - 1) / (f - 1)
+	if k-l < 1 {
+		return nil, fmt.Errorf("workload: AggressiveAdversary needs k - (k-1)/(F-1) >= 1, got k=%d F=%d", k, f)
+	}
+
+	// Block IDs: a_j -> j-1 for j = 1..k-l; the l new blocks of phase i
+	// (i >= 0) occupy IDs (k-l) + i*l .. (k-l) + (i+1)*l - 1.
+	aBlock := func(j int) core.BlockID { return core.BlockID(j - 1) }
+	bBlock := func(phase, j int) core.BlockID { return core.BlockID((k - l) + phase*l + (j - 1)) }
+
+	var seq core.Sequence
+	for i := 1; i <= phases; i++ {
+		seq = append(seq, aBlock(1))
+		for j := 1; j <= l; j++ {
+			seq = append(seq, bBlock(i-1, j))
+		}
+		for j := 2; j <= k-l; j++ {
+			seq = append(seq, aBlock(j))
+		}
+		for j := 1; j <= l; j++ {
+			seq = append(seq, bBlock(i, j))
+		}
+	}
+
+	initial := make([]core.BlockID, 0, k)
+	for j := 1; j <= k-l; j++ {
+		initial = append(initial, aBlock(j))
+	}
+	for j := 1; j <= l; j++ {
+		initial = append(initial, bBlock(0, j))
+	}
+
+	in := core.SingleDisk(seq, k, f).WithInitialCache(initial...)
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: AggressiveAdversary produced an invalid instance: %w", err)
+	}
+	return in, nil
+}
+
+// AggressiveAdversaryRatioBound returns the asymptotic lower bound of
+// Theorem 2 on Aggressive's approximation ratio for the given parameters,
+// min{1 + F/(k + (k-1)/(F-1)), 2}.
+func AggressiveAdversaryRatioBound(k, f int) float64 {
+	if f <= 1 {
+		return 1
+	}
+	r := 1 + float64(f)/(float64(k)+float64(k-1)/float64(f-1))
+	if r > 2 {
+		return 2
+	}
+	return r
+}
+
+// ConservativeAdversary builds a simple instance family on which the
+// Conservative algorithm approaches its approximation ratio of 2: a cyclic
+// scan over k+1 blocks with F >= k.  Every request after the first pass is a
+// MIN fault that Conservative can overlap with at most k cached requests,
+// while for F >= k the optimum pays roughly the same number of fetches, so
+// both pay about one fetch per request; with F comparable to k the measured
+// gap between Conservative and an aggressive prefetcher illustrates the
+// separation studied in Section 2.
+func ConservativeAdversary(k, f, repeats int) *core.Instance {
+	seq := Loop(k+1, repeats)
+	return core.SingleDisk(seq, k, f)
+}

@@ -1,0 +1,18 @@
+// Package workload generates request sequences and problem instances for the
+// experiment harness.
+//
+// The paper contains no measured workloads; its statements are worst-case
+// bounds and constructions.  The generators in this package therefore cover
+// two needs.  First, the synthetic access patterns that the integrated
+// prefetching/caching literature (Cao et al., Kimbrel et al.) uses to
+// motivate the problem: uniformly random accesses, Zipf-distributed hot/cold
+// accesses, sequential scans, repeated loops slightly larger than the cache,
+// and phased working sets.  Second, the paper's own adversarial
+// constructions, most importantly the Theorem 2 phase construction that
+// drives the Aggressive algorithm to its worst-case approximation ratio.
+//
+// For parallel-disk experiments the package assigns blocks to disks by
+// striping, by hashing, or by contiguous partitioning, and it can also
+// generate per-disk interleaved streams.  Instances can be serialised to and
+// parsed from a small text format used by the command line tools.
+package workload

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pfcache/internal/core"
+)
+
+// Uniform returns a sequence of n requests drawn uniformly at random from
+// numBlocks distinct blocks.
+func Uniform(n, numBlocks int, seed int64) core.Sequence {
+	if n < 0 || numBlocks <= 0 {
+		panic(fmt.Sprintf("workload: invalid Uniform parameters n=%d blocks=%d", n, numBlocks))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seq := make(core.Sequence, n)
+	for i := range seq {
+		seq[i] = core.BlockID(rng.Intn(numBlocks))
+	}
+	return seq
+}
+
+// Zipf returns a sequence of n requests over numBlocks blocks whose
+// popularity follows a Zipf distribution with exponent s > 1 being more
+// skewed.  Block 0 is the most popular block.
+func Zipf(n, numBlocks int, s float64, seed int64) core.Sequence {
+	if n < 0 || numBlocks <= 0 || s < 0 {
+		panic(fmt.Sprintf("workload: invalid Zipf parameters n=%d blocks=%d s=%f", n, numBlocks, s))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Build the cumulative distribution explicitly; numBlocks is small in
+	// every experiment, so the O(numBlocks) table is fine and keeps the
+	// generator deterministic across Go versions.
+	weights := make([]float64, numBlocks)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1.0 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	cum := make([]float64, numBlocks)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	seq := make(core.Sequence, n)
+	for i := range seq {
+		u := rng.Float64()
+		lo, hi := 0, numBlocks-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		seq[i] = core.BlockID(lo)
+	}
+	return seq
+}
+
+// SequentialScan returns a sequence that scans blocks 0..numBlocks-1
+// cyclically for n requests.  Sequential scans are the canonical
+// prefetch-friendly workload: every future request is known and distinct.
+func SequentialScan(n, numBlocks int) core.Sequence {
+	if n < 0 || numBlocks <= 0 {
+		panic(fmt.Sprintf("workload: invalid SequentialScan parameters n=%d blocks=%d", n, numBlocks))
+	}
+	seq := make(core.Sequence, n)
+	for i := range seq {
+		seq[i] = core.BlockID(i % numBlocks)
+	}
+	return seq
+}
+
+// Loop returns a sequence of `repeats` passes over a loop of loopLen blocks.
+// Loops slightly larger than the cache are the classical worst case for LRU
+// and a natural stress test for integrated prefetching.
+func Loop(loopLen, repeats int) core.Sequence {
+	if loopLen <= 0 || repeats < 0 {
+		panic(fmt.Sprintf("workload: invalid Loop parameters len=%d repeats=%d", loopLen, repeats))
+	}
+	seq := make(core.Sequence, 0, loopLen*repeats)
+	for r := 0; r < repeats; r++ {
+		for b := 0; b < loopLen; b++ {
+			seq = append(seq, core.BlockID(b))
+		}
+	}
+	return seq
+}
+
+// Phased returns a sequence of `phases` phases; in each phase, requestsPerPhase
+// requests are drawn uniformly from a working set of workingSet blocks, and
+// consecutive working sets overlap by `overlap` blocks.  This models programs
+// whose locality shifts over time.
+func Phased(phases, requestsPerPhase, workingSet, overlap int, seed int64) core.Sequence {
+	if phases < 0 || requestsPerPhase < 0 || workingSet <= 0 || overlap < 0 || overlap > workingSet {
+		panic(fmt.Sprintf("workload: invalid Phased parameters phases=%d reqs=%d ws=%d overlap=%d",
+			phases, requestsPerPhase, workingSet, overlap))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seq := make(core.Sequence, 0, phases*requestsPerPhase)
+	base := 0
+	for p := 0; p < phases; p++ {
+		for i := 0; i < requestsPerPhase; i++ {
+			seq = append(seq, core.BlockID(base+rng.Intn(workingSet)))
+		}
+		base += workingSet - overlap
+	}
+	return seq
+}
+
+// Interleaved returns a sequence interleaving `streams` sequential streams,
+// each over streamLen private blocks, in round-robin order repeated until n
+// requests are produced.  This models concurrent sequential readers, the
+// motivating workload for parallel prefetching.
+func Interleaved(n, streams, streamLen int) core.Sequence {
+	if n < 0 || streams <= 0 || streamLen <= 0 {
+		panic(fmt.Sprintf("workload: invalid Interleaved parameters n=%d streams=%d len=%d", n, streams, streamLen))
+	}
+	seq := make(core.Sequence, n)
+	pos := make([]int, streams)
+	for i := 0; i < n; i++ {
+		s := i % streams
+		seq[i] = core.BlockID(s*streamLen + pos[s]%streamLen)
+		pos[s]++
+	}
+	return seq
+}
+
+// Mixed returns a sequence that alternates between a Zipf-distributed random
+// working set and short sequential scans, approximating mixed OLTP/scan
+// behaviour.  The scan blocks are disjoint from the random blocks.
+func Mixed(n, randomBlocks, scanBlocks, burst int, seed int64) core.Sequence {
+	if n < 0 || randomBlocks <= 0 || scanBlocks <= 0 || burst <= 0 {
+		panic(fmt.Sprintf("workload: invalid Mixed parameters n=%d rnd=%d scan=%d burst=%d",
+			n, randomBlocks, scanBlocks, burst))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seq := make(core.Sequence, 0, n)
+	scanPos := 0
+	for len(seq) < n {
+		// A burst of random accesses.
+		for i := 0; i < burst && len(seq) < n; i++ {
+			seq = append(seq, core.BlockID(rng.Intn(randomBlocks)))
+		}
+		// A burst of sequential accesses in the scan region.
+		for i := 0; i < burst && len(seq) < n; i++ {
+			seq = append(seq, core.BlockID(randomBlocks+scanPos%scanBlocks))
+			scanPos++
+		}
+	}
+	return seq
+}
+
+// DiskAssignment describes how blocks are assigned to disks.
+type DiskAssignment int
+
+// The supported disk assignment strategies.
+const (
+	// AssignStripe assigns block b to disk b mod D (round-robin striping).
+	AssignStripe DiskAssignment = iota
+	// AssignPartition splits the block ID space into D contiguous ranges.
+	AssignPartition
+	// AssignRandom assigns each block to a uniformly random disk.
+	AssignRandom
+)
+
+// String names the assignment strategy.
+func (a DiskAssignment) String() string {
+	switch a {
+	case AssignStripe:
+		return "stripe"
+	case AssignPartition:
+		return "partition"
+	case AssignRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("assignment(%d)", int(a))
+	}
+}
+
+// AssignDisks maps every block of the sequence to a disk in [0, disks) using
+// the given strategy.  The seed is only used by AssignRandom.
+func AssignDisks(seq core.Sequence, disks int, strategy DiskAssignment, seed int64) map[core.BlockID]int {
+	if disks <= 0 {
+		panic(fmt.Sprintf("workload: invalid disk count %d", disks))
+	}
+	blocks := seq.Distinct()
+	out := make(map[core.BlockID]int, len(blocks))
+	switch strategy {
+	case AssignStripe:
+		for _, b := range blocks {
+			out[b] = int(b) % disks
+		}
+	case AssignPartition:
+		maxID := int(seq.MaxBlock()) + 1
+		per := (maxID + disks - 1) / disks
+		if per == 0 {
+			per = 1
+		}
+		for _, b := range blocks {
+			d := int(b) / per
+			if d >= disks {
+				d = disks - 1
+			}
+			out[b] = d
+		}
+	case AssignRandom:
+		rng := rand.New(rand.NewSource(seed))
+		for _, b := range blocks {
+			out[b] = rng.Intn(disks)
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown disk assignment %d", int(strategy)))
+	}
+	return out
+}
+
+// Instance bundles a generated sequence into a problem instance with the
+// given cache size, fetch time and disk layout.  The initial cache is empty.
+func Instance(seq core.Sequence, k, f, disks int, strategy DiskAssignment, seed int64) *core.Instance {
+	if disks == 1 {
+		return core.SingleDisk(seq, k, f)
+	}
+	return core.MultiDisk(seq, k, f, disks, AssignDisks(seq, disks, strategy, seed))
+}

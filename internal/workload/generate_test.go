@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pfcache/internal/core"
+)
+
+func TestUniformDeterministicAndInRange(t *testing.T) {
+	a := Uniform(100, 7, 42)
+	b := Uniform(100, 7, 42)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Uniform not deterministic at %d", i)
+		}
+		if a[i] < 0 || a[i] >= 7 {
+			t.Fatalf("block out of range: %v", a[i])
+		}
+	}
+	c := Uniform(100, 7, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical sequences")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	seq := Zipf(5000, 10, 1.2, 1)
+	counts := make(map[core.BlockID]int)
+	for _, b := range seq {
+		if b < 0 || b >= 10 {
+			t.Fatalf("block out of range: %v", b)
+		}
+		counts[b]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("Zipf not skewed: block0=%d block9=%d", counts[0], counts[9])
+	}
+	// s = 0 is uniform-ish: the most popular block should not dominate.
+	flat := Zipf(5000, 10, 0, 1)
+	fc := make(map[core.BlockID]int)
+	for _, b := range flat {
+		fc[b]++
+	}
+	if float64(fc[0]) > 0.3*float64(len(flat)) {
+		t.Fatalf("Zipf with s=0 too skewed: %d of %d", fc[0], len(flat))
+	}
+}
+
+func TestSequentialScanAndLoop(t *testing.T) {
+	seq := SequentialScan(10, 4)
+	want := core.Sequence{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("SequentialScan[%d] = %v, want %v", i, seq[i], want[i])
+		}
+	}
+	loop := Loop(3, 2)
+	if len(loop) != 6 || loop[0] != 0 || loop[3] != 0 || loop[5] != 2 {
+		t.Fatalf("Loop = %v", loop)
+	}
+}
+
+func TestPhasedWorkingSets(t *testing.T) {
+	seq := Phased(3, 20, 5, 1, 7)
+	if len(seq) != 60 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	// The last phase uses blocks starting at 2*(5-1) = 8.
+	foundHigh := false
+	for _, b := range seq[40:] {
+		if b < 8 || b >= 13 {
+			t.Fatalf("phase 3 block out of range: %v", b)
+		}
+		if b >= 10 {
+			foundHigh = true
+		}
+	}
+	if !foundHigh {
+		t.Logf("phase 3 never used its upper blocks (possible but unlikely)")
+	}
+}
+
+func TestInterleavedStreams(t *testing.T) {
+	seq := Interleaved(12, 3, 4)
+	// Stream s owns blocks [4s, 4s+4); request i belongs to stream i%3.
+	for i, b := range seq {
+		s := i % 3
+		if int(b) < 4*s || int(b) >= 4*s+4 {
+			t.Fatalf("request %d block %v outside stream %d", i, b, s)
+		}
+	}
+	// Within a stream the accesses are sequential.
+	if seq[0] != 0 || seq[3] != 1 || seq[6] != 2 {
+		t.Fatalf("stream 0 not sequential: %v", seq)
+	}
+}
+
+func TestMixed(t *testing.T) {
+	seq := Mixed(100, 8, 16, 5, 3)
+	if len(seq) != 100 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	sawScan := false
+	for _, b := range seq {
+		if int(b) >= 8+16 || b < 0 {
+			t.Fatalf("block out of range: %v", b)
+		}
+		if int(b) >= 8 {
+			sawScan = true
+		}
+	}
+	if !sawScan {
+		t.Fatalf("no scan blocks generated")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Uniform(-1, 3, 0) },
+		func() { Uniform(3, 0, 0) },
+		func() { Zipf(3, 0, 1, 0) },
+		func() { SequentialScan(3, 0) },
+		func() { Loop(0, 1) },
+		func() { Phased(1, 1, 0, 0, 0) },
+		func() { Phased(1, 1, 2, 3, 0) },
+		func() { Interleaved(1, 0, 1) },
+		func() { Mixed(1, 0, 1, 1, 0) },
+		func() { AssignDisks(core.Sequence{0}, 0, AssignStripe, 0) },
+		func() { AssignDisks(core.Sequence{0}, 2, DiskAssignment(9), 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssignDisks(t *testing.T) {
+	seq := SequentialScan(20, 10)
+	stripe := AssignDisks(seq, 3, AssignStripe, 0)
+	for b, d := range stripe {
+		if d != int(b)%3 {
+			t.Fatalf("stripe: block %v on disk %d", b, d)
+		}
+	}
+	part := AssignDisks(seq, 3, AssignPartition, 0)
+	// Contiguity: disk index must be non-decreasing in block ID.
+	prev := -1
+	for b := core.BlockID(0); b < 10; b++ {
+		d := part[b]
+		if d < prev {
+			t.Fatalf("partition not contiguous at block %v", b)
+		}
+		prev = d
+	}
+	rnd := AssignDisks(seq, 3, AssignRandom, 5)
+	for b, d := range rnd {
+		if d < 0 || d >= 3 {
+			t.Fatalf("random: block %v on disk %d", b, d)
+		}
+	}
+	for _, s := range []DiskAssignment{AssignStripe, AssignPartition, AssignRandom, DiskAssignment(9)} {
+		if s.String() == "" {
+			t.Errorf("empty assignment name")
+		}
+	}
+}
+
+func TestInstanceHelper(t *testing.T) {
+	seq := SequentialScan(10, 5)
+	single := Instance(seq, 3, 2, 1, AssignStripe, 0)
+	if err := single.Validate(); err != nil {
+		t.Fatalf("single-disk instance invalid: %v", err)
+	}
+	multi := Instance(seq, 3, 2, 2, AssignStripe, 0)
+	if err := multi.Validate(); err != nil {
+		t.Fatalf("multi-disk instance invalid: %v", err)
+	}
+	if multi.Disks != 2 {
+		t.Fatalf("Disks = %d", multi.Disks)
+	}
+}
+
+func TestAggressiveAdversaryStructure(t *testing.T) {
+	k, f, phases := 7, 4, 3
+	in, err := AggressiveAdversary(k, f, phases)
+	if err != nil {
+		t.Fatalf("AggressiveAdversary: %v", err)
+	}
+	l := (k - 1) / (f - 1) // 2
+	if l != 2 {
+		t.Fatalf("unexpected l = %d", l)
+	}
+	if in.N() != phases*(k+l) {
+		t.Fatalf("n = %d, want %d", in.N(), phases*(k+l))
+	}
+	if len(in.InitialCache) != k {
+		t.Fatalf("initial cache size = %d, want %d", len(in.InitialCache), k)
+	}
+	// Phase 1 must be: a1, b0_1, b0_2, a2..a5, b1_1, b1_2.
+	phase1 := in.Seq[:k+l]
+	want := core.Sequence{0, 5, 6, 1, 2, 3, 4, 7, 8}
+	for i := range want {
+		if phase1[i] != want[i] {
+			t.Fatalf("phase 1 = %v, want %v", phase1, want)
+		}
+	}
+	// The new blocks of phase i are requested again exactly once, early in
+	// phase i+1.
+	ix := core.NewIndex(in.Seq)
+	if got := ix.Count(7); got != 2 {
+		t.Fatalf("block b1_1 referenced %d times, want 2", got)
+	}
+	// Blocks of the final phase are referenced once.
+	lastNew := in.Seq[in.N()-1]
+	if got := ix.Count(lastNew); got != 1 {
+		t.Fatalf("final new block referenced %d times, want 1", got)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+}
+
+func TestAggressiveAdversaryErrors(t *testing.T) {
+	cases := []struct{ k, f, phases int }{
+		{5, 1, 1}, // F too small
+		{4, 6, 1}, // F > k
+		{6, 4, 1}, // (F-1) does not divide (k-1)
+		{7, 4, 0}, // no phases
+		{3, 3, 1}, // k - l = 3 - 1 = 2 >= 1 is fine; use a genuinely bad one below
+	}
+	for i, tc := range cases[:4] {
+		if _, err := AggressiveAdversary(tc.k, tc.f, tc.phases); err == nil {
+			t.Errorf("case %d (k=%d F=%d phases=%d): expected error", i, tc.k, tc.f, tc.phases)
+		}
+	}
+	// k=3, F=3 gives l=1, k-l=2: valid.
+	if _, err := AggressiveAdversary(3, 3, 1); err != nil {
+		t.Errorf("k=3 F=3 should be valid: %v", err)
+	}
+}
+
+func TestAggressiveAdversaryRatioBound(t *testing.T) {
+	if got := AggressiveAdversaryRatioBound(7, 4); math.Abs(got-(1+4.0/9.0)) > 1e-12 {
+		t.Errorf("bound = %f", got)
+	}
+	if got := AggressiveAdversaryRatioBound(2, 10); got != 2 {
+		t.Errorf("bound should clamp at 2, got %f", got)
+	}
+	if got := AggressiveAdversaryRatioBound(4, 1); got != 1 {
+		t.Errorf("bound for F<=1 = %f, want 1", got)
+	}
+}
+
+func TestConservativeAdversary(t *testing.T) {
+	in := ConservativeAdversary(4, 4, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if in.N() != 15 {
+		t.Fatalf("n = %d, want 15", in.N())
+	}
+	if len(in.Seq.Distinct()) != 5 {
+		t.Fatalf("distinct = %d, want 5", len(in.Seq.Distinct()))
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	seq := Uniform(50, 9, 3)
+	in := Instance(seq, 4, 3, 3, AssignStripe, 0).WithInitialCache(0, 1)
+	text := Marshal(in)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if back.K != in.K || back.F != in.F || back.Disks != in.Disks {
+		t.Fatalf("round trip changed parameters: %+v", back)
+	}
+	if len(back.Seq) != len(in.Seq) {
+		t.Fatalf("round trip changed sequence length")
+	}
+	for i := range in.Seq {
+		if back.Seq[i] != in.Seq[i] {
+			t.Fatalf("round trip changed request %d", i)
+		}
+	}
+	for _, b := range in.Blocks() {
+		if back.Disk(b) != in.Disk(b) {
+			t.Fatalf("round trip changed disk of %v", b)
+		}
+	}
+	if len(back.InitialCache) != 2 {
+		t.Fatalf("round trip lost initial cache")
+	}
+}
+
+func TestWriteHelper(t *testing.T) {
+	var sb strings.Builder
+	in := core.SingleDisk(core.Sequence{0, 1}, 2, 2)
+	if err := Write(&sb, in); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(sb.String(), "pfcache-instance v1") {
+		t.Fatalf("missing header in %q", sb.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                               // no header
+		"bogus header\nk 3",                              // wrong header
+		"pfcache-instance v1\nk x",                       // bad integer
+		"pfcache-instance v1\nk 1 2",                     // too many args
+		"pfcache-instance v1\nwhat 3",                    // unknown directive
+		"pfcache-instance v1\ndisk 1",                    // bad disk line
+		"pfcache-instance v1\ndisk a b",                  // non-numeric disk line
+		"pfcache-instance v1\nseq x",                     // bad seq entry
+		"pfcache-instance v1\ninitial x",                 // bad initial entry
+		"pfcache-instance v1\nk 2\nf 1\ndisks 1\nseq -5", // invalid instance
+	}
+	for i, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, c)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlankLines(t *testing.T) {
+	text := "# a comment\npfcache-instance v1\n\nk 2\nf 1\ndisks 1\n# another\nseq 0 1 0\n"
+	in, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if in.N() != 3 || in.K != 2 {
+		t.Fatalf("parsed instance wrong: %+v", in)
+	}
+}
