@@ -1,0 +1,3 @@
+module pfcache
+
+go 1.24
