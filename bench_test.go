@@ -1,11 +1,14 @@
 // Package pfcache's root benchmark harness regenerates every experiment of
-// DESIGN.md / EXPERIMENTS.md as a testing.B benchmark, so that
+// EXPERIMENTS.md as a testing.B benchmark, so that
 //
 //	go test -bench=. -benchmem
 //
 // reproduces the paper's results (the per-experiment tables are printed once
 // per benchmark) and additionally measures the cost of the main algorithmic
-// building blocks.
+// building blocks.  The BenchmarkLP* group watches the hot path of the
+// E7/E8 sweeps (the simplex solver of internal/lp and the model builder of
+// internal/lpmodel); internal/lp's own benchmarks compare the flat solver
+// against the retired dense reference implementation.
 package pfcache_test
 
 import (
@@ -47,7 +50,8 @@ func runExperiment(b *testing.B, id string) {
 	}
 }
 
-// Experiment benchmarks: one per table of the experiment index in DESIGN.md.
+// Experiment benchmarks: one per table of the experiment index in
+// EXPERIMENTS.md.
 
 func BenchmarkE1IntroExample(b *testing.B)            { runExperiment(b, "E1") }
 func BenchmarkE2IntroParallelExample(b *testing.B)    { runExperiment(b, "E2") }
@@ -165,5 +169,67 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = workload.Zipf(5000, 256, 1.1, int64(i))
+	}
+}
+
+// e7SizedModel builds the synchronized-schedule LP at the size used by the
+// E7 sweep (the hot path motivating the flat solver).
+func e7SizedModel(b *testing.B) *lpmodel.Model {
+	b.Helper()
+	seq := workload.Uniform(11, 6, 900)
+	in := workload.Instance(seq, 3, 2, 3, workload.AssignStripe, 0)
+	m, err := lpmodel.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkLPSolveFlat measures a bare lp.Solve on the E7 model size with a
+// reused Solver: the steady-state cost of one simplex solve in the sweeps.
+// Compare with BenchmarkDenseSolveE7Size in internal/lp for the pre-refactor
+// dense path.
+func BenchmarkLPSolveFlat(b *testing.B) {
+	m := e7SizedModel(b)
+	solver := lp.NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveWith(solver, lp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPModelBuild measures constructing the synchronized-schedule LP
+// (variable enumeration plus sparse constraint ingestion) at the E7 size.
+func BenchmarkLPModelBuild(b *testing.B) {
+	seq := workload.Uniform(11, 6, 900)
+	in := workload.Instance(seq, 3, 2, 3, workload.AssignStripe, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lpmodel.Build(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecTrace measures the schedule executor with event tracing
+// enabled, the mode the debugging tools and pcsim use.
+func BenchmarkExecTrace(b *testing.B) {
+	in := mediumSingleDiskInstance()
+	sched, err := single.Aggressive(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(in, sched, sim.Options{Trace: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Events) == 0 {
+			b.Fatal("trace empty")
+		}
 	}
 }

@@ -1,5 +1,7 @@
 // Command pcbench runs the experiment suite that reproduces the paper's
-// results and prints one table per experiment.
+// results and prints one table per experiment.  Experiments (and the
+// independent points inside each experiment) run on a bounded worker pool;
+// output order and content are identical to a sequential run.
 //
 // Usage:
 //
@@ -7,9 +9,12 @@
 //	pcbench -run E3,E7      # run selected experiments
 //	pcbench -list           # list experiment identifiers
 //	pcbench -csv            # emit CSV instead of aligned text
+//	pcbench -json           # emit JSON (for BENCH_*.json trajectory tracking)
+//	pcbench -workers 1      # force sequential execution
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +23,23 @@ import (
 	"pfcache/internal/experiments"
 )
 
+// jsonResult is the JSON shape of one experiment result, stable for
+// trajectory tracking across revisions.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	run := flag.String("run", "", "comma-separated experiment identifiers to run (default: all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array (includes per-experiment wall time)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -30,6 +48,8 @@ func main() {
 		}
 		return
 	}
+
+	experiments.SetWorkers(*workers)
 
 	selected := experiments.All()
 	if *run != "" {
@@ -44,16 +64,45 @@ func main() {
 		}
 	}
 
-	for _, e := range selected {
-		tab, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+	results, err := experiments.RunAll(selected)
+	// Print whatever completed even when some experiment failed, so one
+	// broken experiment does not hide the others' results (failed entries
+	// have a nil table and are skipped).
+	if *jsonOut {
+		out := make([]jsonResult, 0, len(results))
+		for _, r := range results {
+			if r.Table == nil {
+				continue
+			}
+			out = append(out, jsonResult{
+				ID:      r.Experiment.ID,
+				Title:   r.Experiment.Title,
+				Note:    r.Table.Note,
+				Headers: r.Table.Headers,
+				Rows:    r.Table.Rows,
+				Seconds: r.Elapsed.Seconds(),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(out); encErr != nil {
+			fmt.Fprintln(os.Stderr, encErr)
 			os.Exit(1)
 		}
-		if *csv {
-			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tab.CSV())
-		} else {
-			fmt.Printf("%s\n", tab)
+	} else {
+		for _, r := range results {
+			if r.Table == nil {
+				continue
+			}
+			if *csv {
+				fmt.Printf("# %s: %s\n%s\n", r.Experiment.ID, r.Experiment.Title, r.Table.CSV())
+			} else {
+				fmt.Printf("%s\n", r.Table)
+			}
 		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

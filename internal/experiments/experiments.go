@@ -6,8 +6,13 @@
 // single-disk algorithms (E3-E6, reproducing Theorems 1-3 and Corollaries
 // 1-2), the Theorem 4 guarantee for parallel disks (E7), the degradation of
 // the greedy strategies with the number of disks that motivates Theorem 4
-// (E8), and two ablations (A1, A2).  DESIGN.md and EXPERIMENTS.md describe
-// the expected shape of every table.
+// (E8), and two ablations (A1, A2).  EXPERIMENTS.md maps every experiment to
+// its paper section and describes the expected shape of the table.
+//
+// Experiments run on a bounded worker pool (see pool.go): RunAll executes
+// whole experiments concurrently, and the row loops inside each experiment
+// fan independent points out over the same pool.  Results land in
+// index-addressed slots, so tables are byte-identical to sequential runs.
 package experiments
 
 import (
@@ -19,8 +24,8 @@ import (
 
 // Experiment is a named, runnable experiment producing one result table.
 type Experiment struct {
-	// ID is the experiment identifier used in DESIGN.md and EXPERIMENTS.md,
-	// e.g. "E3" or "A1".
+	// ID is the experiment identifier used in EXPERIMENTS.md, e.g. "E3" or
+	// "A1".
 	ID string
 	// Title is a one-line description.
 	Title string

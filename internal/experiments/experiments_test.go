@@ -281,3 +281,66 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("csv rendering missing header:\n%s", csv)
 	}
 }
+
+// TestConcurrentDriverDeterministic runs an experiment with the sequential
+// and the concurrent driver and requires byte-identical tables, the
+// guarantee the worker pool makes for every experiment.
+func TestConcurrentDriverDeterministic(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(1)
+	seq, err := E5DelaySweep()
+	if err != nil {
+		t.Fatalf("sequential E5: %v", err)
+	}
+	SetWorkers(4)
+	par, err := E5DelaySweep()
+	if err != nil {
+		t.Fatalf("concurrent E5: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("concurrent table differs from sequential:\n--- sequential ---\n%s--- concurrent ---\n%s", seq, par)
+	}
+}
+
+// TestRunAllPreservesOrder checks that RunAll returns results in input
+// order with the right tables attached, regardless of worker scheduling.
+func TestRunAllPreservesOrder(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	e1, err := ByID("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ByID("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunAll([]Experiment{e2, e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Experiment.ID != "E2" || results[1].Experiment.ID != "E1" {
+		t.Fatalf("unexpected result order: %+v", results)
+	}
+	for _, r := range results {
+		if r.Table == nil || len(r.Table.Rows) == 0 {
+			t.Fatalf("%s: empty table", r.Experiment.ID)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("%s: non-positive elapsed time", r.Experiment.ID)
+		}
+	}
+}
+
+// TestSetWorkersClamps exercises the worker-count accessors.
+func TestSetWorkersClamps(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(-3)
+	if Workers() <= 0 {
+		t.Fatalf("Workers() = %d after reset, want > 0", Workers())
+	}
+	SetWorkers(2)
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", Workers())
+	}
+}

@@ -62,31 +62,49 @@ func E7ParallelLPOptimal() (*report.Table, error) {
 	t := report.NewTable("E7: Theorem 4 - LP schedule vs optimal stall",
 		"D", "instances", "mean stall ratio", "max stall ratio", "max extra cache", "budget 2(D-1)", "mean LP bound / OPT")
 	t.Note = "Expected: stall ratio 1.000, extra cache within budget."
-	for _, disks := range []int{1, 2, 3} {
+	diskSet := []int{1, 2, 3}
+	const seeds = 4
+	type point struct {
+		ratio, bound float64
+		extra        int
+	}
+	points := make([]point, len(diskSet)*seeds)
+	err := forEach(len(points), func(i int) error {
+		disks := diskSet[i/seeds]
+		seed := int64(i % seeds)
+		seq := workload.Uniform(11, 6, 900+seed)
+		in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
+		optRes, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			return err
+		}
+		res, err := parallel.LPOptimal(in)
+		if err != nil {
+			return err
+		}
+		points[i] = point{
+			ratio: stats.Ratio(float64(res.Stall), float64(optRes.Stall)),
+			bound: stats.Ratio(res.LowerBound, float64(optRes.Stall)),
+			extra: res.ExtraCache,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, disks := range diskSet {
 		var ratios, bounds []float64
 		maxExtra := 0
-		instances := 0
-		for seed := int64(0); seed < 4; seed++ {
-			seq := workload.Uniform(11, 6, 900+seed)
-			in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
-			optRes, err := opt.Optimal(in, opt.Options{})
-			if err != nil {
-				return nil, err
-			}
-			res, err := parallel.LPOptimal(in)
-			if err != nil {
-				return nil, err
-			}
-			instances++
-			ratios = append(ratios, stats.Ratio(float64(res.Stall), float64(optRes.Stall)))
-			bounds = append(bounds, stats.Ratio(res.LowerBound, float64(optRes.Stall)))
-			if res.ExtraCache > maxExtra {
-				maxExtra = res.ExtraCache
+		for _, p := range points[di*seeds : (di+1)*seeds] {
+			ratios = append(ratios, p.ratio)
+			bounds = append(bounds, p.bound)
+			if p.extra > maxExtra {
+				maxExtra = p.extra
 			}
 		}
 		s := stats.Summarize(ratios)
 		b := stats.Summarize(bounds)
-		t.AddRow(disks, instances, s.Mean, s.Max, maxExtra, 2*(disks-1), b.Mean)
+		t.AddRow(disks, seeds, s.Mean, s.Max, maxExtra, 2*(disks-1), b.Mean)
 	}
 	return t, nil
 }
@@ -101,32 +119,44 @@ func E8ParallelHeuristics() (*report.Table, error) {
 	t := report.NewTable("E8: parallel heuristics vs number of disks (stall / LP lower bound)",
 		"D", "lp-optimal", "aggressive", "conservative", "demand")
 	t.Note = "Expected: lp-optimal stays near 1; the others grow with D."
-	for _, disks := range []int{1, 2, 3, 4} {
-		sums := map[string][]float64{}
-		for seed := int64(0); seed < 3; seed++ {
-			seq := workload.Interleaved(16, disks, 5)
-			in := workload.Instance(seq, 4, 3, disks, workload.AssignStripe, 0)
-			lb, err := lpmodel.LowerBound(in, lp.Options{})
-			if err != nil {
-				return nil, err
-			}
-			// Guard against a zero lower bound (nothing to fetch).
-			if lb < 0.5 {
-				lb = 1
-			}
-			for _, a := range parallel.Algorithms() {
-				res, err := runParallel(in, a)
-				if err != nil {
-					return nil, err
-				}
-				sums[a.Name] = append(sums[a.Name], float64(res.Stall)/lb)
-			}
+	diskSet := []int{1, 2, 3, 4}
+	algos := parallel.Algorithms()
+	// The interleaved workload is deterministic for a given D (the old
+	// per-seed loop recomputed identical instances), so one point per D
+	// suffices.
+	points := make([][]float64, len(diskSet))
+	err := forEach(len(points), func(i int) error {
+		disks := diskSet[i]
+		seq := workload.Interleaved(16, disks, 5)
+		in := workload.Instance(seq, 4, 3, disks, workload.AssignStripe, 0)
+		lb, err := lpmodel.LowerBound(in, lp.Options{})
+		if err != nil {
+			return err
 		}
-		t.AddRow(disks,
-			stats.Summarize(sums["lp-optimal"]).Mean,
-			stats.Summarize(sums["aggressive"]).Mean,
-			stats.Summarize(sums["conservative"]).Mean,
-			stats.Summarize(sums["demand"]).Mean)
+		// Guard against a zero lower bound (nothing to fetch).
+		if lb < 0.5 {
+			lb = 1
+		}
+		vals := make([]float64, len(algos))
+		for ai, a := range algos {
+			res, err := runParallel(in, a)
+			if err != nil {
+				return err
+			}
+			vals[ai] = float64(res.Stall) / lb
+		}
+		points[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, disks := range diskSet {
+		row := []interface{}{disks}
+		for ai := range algos {
+			row = append(row, points[di][ai])
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -140,24 +170,38 @@ func A1SynchronizationAblation() (*report.Table, error) {
 	t := report.NewTable("A1: ablation - extra cache locations and synchronization",
 		"D", "instance", "OPT(k)", "OPT(k+D-1)", "LP bound (synchronized, k+D-1)")
 	t.Note = "Expected: LP bound <= OPT(k); extra locations never hurt."
-	for _, disks := range []int{2, 3} {
-		for seed := int64(0); seed < 3; seed++ {
-			seq := workload.Uniform(10, 6, 300+seed)
-			in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
-			base, err := opt.OptimalStall(in, opt.Options{})
-			if err != nil {
-				return nil, err
-			}
-			extra, err := opt.OptimalStall(in, opt.Options{ExtraCache: disks - 1})
-			if err != nil {
-				return nil, err
-			}
-			lb, err := lpmodel.LowerBound(in, lp.Options{})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(disks, fmt.Sprintf("uniform/%d", seed), base, extra, lb)
+	diskSet := []int{2, 3}
+	const seeds = 3
+	type row struct {
+		base, extra int
+		lb          float64
+	}
+	rows := make([]row, len(diskSet)*seeds)
+	err := forEach(len(rows), func(i int) error {
+		disks := diskSet[i/seeds]
+		seed := int64(i % seeds)
+		seq := workload.Uniform(10, 6, 300+seed)
+		in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
+		base, err := opt.OptimalStall(in, opt.Options{})
+		if err != nil {
+			return err
 		}
+		extra, err := opt.OptimalStall(in, opt.Options{ExtraCache: disks - 1})
+		if err != nil {
+			return err
+		}
+		lb, err := lpmodel.LowerBound(in, lp.Options{})
+		if err != nil {
+			return err
+		}
+		rows[i] = row{base: base, extra: extra, lb: lb}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		t.AddRow(diskSet[i/seeds], fmt.Sprintf("uniform/%d", i%seeds), r.base, r.extra, r.lb)
 	}
 	return t, nil
 }

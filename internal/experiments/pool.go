@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfcache/internal/report"
+)
+
+// workerCount is the configured concurrency of the experiment driver; 0
+// means one worker per CPU.
+var workerCount atomic.Int64
+
+// SetWorkers sets the number of concurrent workers used by RunAll and by
+// the row-level loops inside the experiments.  n <= 0 restores the default
+// (one worker per CPU); n == 1 forces fully sequential execution.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int64(n))
+}
+
+// Workers returns the effective worker count.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// extraWorkers counts the extra goroutines currently running across every
+// forEach call, so the Workers() bound is global: nested fan-out (RunAll
+// over experiments, each experiment fanning out its rows) shares one budget
+// of Workers()-1 extras plus the calling goroutine, instead of multiplying
+// worker counts per nesting level.
+var extraWorkers atomic.Int64
+
+// acquireExtra reserves one slot of the global extra-worker budget, or
+// reports that the budget is exhausted.
+func acquireExtra(budget int64) bool {
+	for {
+		cur := extraWorkers.Load()
+		if cur >= budget {
+			return false
+		}
+		if extraWorkers.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// forEach runs f(i) for every i in [0, n).  The calling goroutine always
+// processes items itself (guaranteeing progress without holding budget) and
+// is joined by extra goroutines while the global budget allows.  Each index
+// is processed exactly once; on failure every failing index's error is
+// returned (joined in index order), so the outcome is deterministic
+// regardless of scheduling.  Every experiment point writes its result into
+// an index-addressed slot, which keeps result tables byte-identical to the
+// sequential driver's output.
+func forEach(n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = f(i)
+		}
+	}
+	budget := int64(Workers() - 1)
+	var wg sync.WaitGroup
+	for g := 0; g < n-1 && acquireExtra(budget); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer extraWorkers.Add(-1)
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Result is the outcome of one experiment run by RunAll.
+type Result struct {
+	// Experiment identifies what ran.
+	Experiment Experiment
+	// Table is the produced result table.
+	Table *report.Table
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// RunAll executes the given experiments concurrently (bounded by Workers())
+// and returns their results in the same order, so output is deterministic
+// regardless of which experiment finishes first.  On failure the error is
+// tagged with the failing experiment's ID and the completed results are
+// still returned (failed entries have a nil Table).
+func RunAll(exps []Experiment) ([]Result, error) {
+	out := make([]Result, len(exps))
+	err := forEach(len(exps), func(i int) error {
+		start := time.Now()
+		tab, err := exps[i].Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+		out[i] = Result{Experiment: exps[i], Table: tab, Elapsed: time.Since(start)}
+		return nil
+	})
+	return out, err
+}

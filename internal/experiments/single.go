@@ -96,26 +96,37 @@ func E3AggressiveRatio() (*report.Table, error) {
 		{"zipf", func(seed int64) core.Sequence { return workload.Zipf(20, 8, 1.1, seed) }},
 		{"loop", func(seed int64) core.Sequence { return workload.Loop(7, 3) }},
 	}
-	for _, c := range configs {
-		for _, w := range workloads {
-			var ratios []float64
-			for seed := int64(0); seed < 3; seed++ {
-				in := core.SingleDisk(w.gen(seed), c.k, c.f)
-				optRes, err := opt.Optimal(in, opt.Options{})
-				if err != nil {
-					return nil, err
-				}
-				a, _ := single.ByName("aggressive")
-				res, err := runSingle(in, a)
-				if err != nil {
-					return nil, err
-				}
-				ratios = append(ratios, stats.Ratio(float64(res.Elapsed), float64(optRes.Elapsed)))
+	type point struct{ mean, max float64 }
+	points := make([]point, len(configs)*len(workloads))
+	err := forEach(len(points), func(i int) error {
+		c := configs[i/len(workloads)]
+		w := workloads[i%len(workloads)]
+		var ratios []float64
+		for seed := int64(0); seed < 3; seed++ {
+			in := core.SingleDisk(w.gen(seed), c.k, c.f)
+			optRes, err := opt.Optimal(in, opt.Options{})
+			if err != nil {
+				return err
 			}
-			s := stats.Summarize(ratios)
-			t.AddRow(c.k, c.f, w.name, s.Mean, s.Max,
-				single.AggressiveUpperBound(c.k, c.f), single.CaoAggressiveBound(c.k, c.f))
+			a, _ := single.ByName("aggressive")
+			res, err := runSingle(in, a)
+			if err != nil {
+				return err
+			}
+			ratios = append(ratios, stats.Ratio(float64(res.Elapsed), float64(optRes.Elapsed)))
 		}
+		s := stats.Summarize(ratios)
+		points[i] = point{mean: s.Mean, max: s.Max}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		c := configs[i/len(workloads)]
+		w := workloads[i%len(workloads)]
+		t.AddRow(c.k, c.f, w.name, p.mean, p.max,
+			single.AggressiveUpperBound(c.k, c.f), single.CaoAggressiveBound(c.k, c.f))
 	}
 	return t, nil
 }
@@ -131,26 +142,39 @@ func E4AggressiveLowerBound() (*report.Table, error) {
 		"k", "F", "phases", "aggressive elapsed", "optimal elapsed", "ratio", "Thm2 bound", "Thm1 bound")
 	t.Note = "Expected: ratio climbs with phases towards (k+l+F)/(k+l+2), which tends to the Thm2 bound for large k and F."
 	type cfg struct{ k, f int }
-	for _, c := range []cfg{{7, 4}, {5, 3}, {9, 5}, {13, 5}} {
-		for _, phases := range []int{2, 6, 16} {
-			in, err := workload.AggressiveAdversary(c.k, c.f, phases)
-			if err != nil {
-				return nil, err
-			}
-			ag, _ := single.ByName("aggressive")
-			ares, err := runSingle(in, ag)
-			if err != nil {
-				return nil, err
-			}
-			cons, _ := single.ByName("conservative")
-			cres, err := runSingle(in, cons)
-			if err != nil {
-				return nil, err
-			}
-			ratio := stats.Ratio(float64(ares.Elapsed), float64(cres.Elapsed))
-			t.AddRow(c.k, c.f, phases, ares.Elapsed, cres.Elapsed, ratio,
-				single.AggressiveLowerBound(c.k, c.f), single.AggressiveUpperBound(c.k, c.f))
+	configs := []cfg{{7, 4}, {5, 3}, {9, 5}, {13, 5}}
+	phaseSet := []int{2, 6, 16}
+	type row struct{ agg, cons int }
+	rows := make([]row, len(configs)*len(phaseSet))
+	err := forEach(len(rows), func(i int) error {
+		c := configs[i/len(phaseSet)]
+		phases := phaseSet[i%len(phaseSet)]
+		in, err := workload.AggressiveAdversary(c.k, c.f, phases)
+		if err != nil {
+			return err
 		}
+		ag, _ := single.ByName("aggressive")
+		ares, err := runSingle(in, ag)
+		if err != nil {
+			return err
+		}
+		cons, _ := single.ByName("conservative")
+		cres, err := runSingle(in, cons)
+		if err != nil {
+			return err
+		}
+		rows[i] = row{agg: ares.Elapsed, cons: cres.Elapsed}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		c := configs[i/len(phaseSet)]
+		phases := phaseSet[i%len(phaseSet)]
+		ratio := stats.Ratio(float64(r.agg), float64(r.cons))
+		t.AddRow(c.k, c.f, phases, r.agg, r.cons, ratio,
+			single.AggressiveLowerBound(c.k, c.f), single.AggressiveUpperBound(c.k, c.f))
 	}
 	return t, nil
 }
@@ -171,37 +195,51 @@ func E5DelaySweep() (*report.Table, error) {
 		func(seed int64) core.Sequence { return workload.Uniform(20, 7, seed) },
 		func(seed int64) core.Sequence { return workload.Zipf(20, 7, 1.2, seed+100) },
 	}
-	// Precompute the optima once per instance.
+	// Precompute the optima once per instance, in parallel.
 	type inst struct {
 		in  *core.Instance
 		opt int
 	}
-	var instances []inst
-	for _, g := range gens {
-		for seed := int64(0); seed < 2; seed++ {
-			in := core.SingleDisk(g(seed), k, f)
-			o, err := opt.Optimal(in, opt.Options{})
-			if err != nil {
-				return nil, err
-			}
-			instances = append(instances, inst{in: in, opt: o.Elapsed})
+	const instSeeds = 2
+	instances := make([]inst, len(gens)*instSeeds)
+	err := forEach(len(instances), func(i int) error {
+		g := gens[i/instSeeds]
+		seed := int64(i % instSeeds)
+		in := core.SingleDisk(g(seed), k, f)
+		o, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			return err
 		}
+		instances[i] = inst{in: in, opt: o.Elapsed}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for d := 0; d <= 2*f; d++ {
+	type point struct{ mean, max float64 }
+	points := make([]point, 2*f+1)
+	err = forEach(len(points), func(d int) error {
 		var ratios []float64
 		for _, it := range instances {
 			sched, err := single.Delay(it.in, d)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := sim.Run(it.in, sched, sim.Options{})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ratios = append(ratios, stats.Ratio(float64(res.Elapsed), float64(it.opt)))
 		}
 		s := stats.Summarize(ratios)
-		t.AddRow(d, single.DelayUpperBound(d, f), s.Mean, s.Max)
+		points[d] = point{mean: s.Mean, max: s.Max}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for d, p := range points {
+		t.AddRow(d, single.DelayUpperBound(d, f), p.mean, p.max)
 	}
 	return t, nil
 }
@@ -227,29 +265,42 @@ func E6Combination() (*report.Table, error) {
 		{"phased", 4, 4, func(seed int64) core.Sequence { return workload.Phased(2, 10, 5, 2, seed) }},
 	}
 	algoNames := []string{"aggressive", "conservative", "delay:auto", "combination", "demand-min"}
-	for _, c := range configs {
-		means := make(map[string][]float64)
-		for seed := int64(0); seed < 3; seed++ {
-			in := core.SingleDisk(c.gen(seed), c.k, c.f)
-			optRes, err := opt.Optimal(in, opt.Options{})
-			if err != nil {
-				return nil, err
-			}
-			for _, name := range algoNames {
-				a, err := single.ByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, err := runSingle(in, a)
-				if err != nil {
-					return nil, err
-				}
-				means[name] = append(means[name], stats.Ratio(float64(res.Elapsed), float64(optRes.Elapsed)))
-			}
+	const seeds = 3
+	points := make([][]float64, len(configs)*seeds)
+	err := forEach(len(points), func(i int) error {
+		c := configs[i/seeds]
+		seed := int64(i % seeds)
+		in := core.SingleDisk(c.gen(seed), c.k, c.f)
+		optRes, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			return err
 		}
+		vals := make([]float64, len(algoNames))
+		for ai, name := range algoNames {
+			a, err := single.ByName(name)
+			if err != nil {
+				return err
+			}
+			res, err := runSingle(in, a)
+			if err != nil {
+				return err
+			}
+			vals[ai] = stats.Ratio(float64(res.Elapsed), float64(optRes.Elapsed))
+		}
+		points[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range configs {
 		row := []interface{}{c.name, c.k, c.f}
-		for _, name := range algoNames {
-			row = append(row, stats.Summarize(means[name]).Mean)
+		for ai := range algoNames {
+			var vals []float64
+			for _, p := range points[ci*seeds : (ci+1)*seeds] {
+				vals = append(vals, p[ai])
+			}
+			row = append(row, stats.Summarize(vals).Mean)
 		}
 		t.AddRow(row...)
 	}
@@ -274,27 +325,41 @@ func A2EvictionAblation() (*report.Table, error) {
 		{"zipf", func(seed int64) core.Sequence { return workload.Zipf(300, 24, 1.1, seed) }},
 		{"loop", func(seed int64) core.Sequence { return workload.Loop(10, 30) }},
 	}
-	for _, c := range configs {
-		sums := map[string][]float64{}
-		for seed := int64(0); seed < 3; seed++ {
-			in := core.SingleDisk(c.gen(seed), 8, 4)
-			for _, name := range []string{"aggressive", "demand-min", "demand-lru", "demand-fifo"} {
-				a, err := single.ByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, err := runSingle(in, a)
-				if err != nil {
-					return nil, err
-				}
-				sums[name] = append(sums[name], float64(res.Elapsed))
+	algoNames := []string{"aggressive", "demand-min", "demand-lru", "demand-fifo"}
+	const seeds = 3
+	points := make([][]float64, len(configs)*seeds)
+	err := forEach(len(points), func(i int) error {
+		c := configs[i/seeds]
+		seed := int64(i % seeds)
+		in := core.SingleDisk(c.gen(seed), 8, 4)
+		vals := make([]float64, len(algoNames))
+		for ai, name := range algoNames {
+			a, err := single.ByName(name)
+			if err != nil {
+				return err
 			}
+			res, err := runSingle(in, a)
+			if err != nil {
+				return err
+			}
+			vals[ai] = float64(res.Elapsed)
 		}
-		t.AddRow(c.name,
-			stats.Summarize(sums["aggressive"]).Mean,
-			stats.Summarize(sums["demand-min"]).Mean,
-			stats.Summarize(sums["demand-lru"]).Mean,
-			stats.Summarize(sums["demand-fifo"]).Mean)
+		points[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range configs {
+		row := []interface{}{c.name}
+		for ai := range algoNames {
+			var vals []float64
+			for _, p := range points[ci*seeds : (ci+1)*seeds] {
+				vals = append(vals, p[ai])
+			}
+			row = append(row, stats.Summarize(vals).Mean)
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

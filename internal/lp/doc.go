@@ -13,10 +13,21 @@
 //
 // Phase one minimises the sum of artificial variables to find a basic
 // feasible solution (detecting infeasibility), phase two optimises the real
-// objective (detecting unboundedness).  Pivoting uses Dantzig's rule with an
+// objective (detecting unboundedness).  Pivoting uses Dantzig's rule over a
+// candidate list (partial pricing: a full reduced-cost sweep refills the
+// list only when every remembered column has turned unattractive) with an
 // automatic switch to Bland's rule when the objective stalls, which
-// guarantees termination on degenerate problems.  Numbers are float64 with
-// explicit tolerances; the prefetching LPs are small and well scaled, and the
-// experiment harness cross-checks the LP results against an exhaustive
-// search, so this precision is sufficient.
+// guarantees termination on degenerate problems.
+//
+// The tableau is a single contiguous []float64 in row-major order with the
+// artificial columns as a trailing index range, and every working buffer
+// lives on a reusable Solver, so repeated solves — the experiment sweeps
+// solve hundreds of similar-sized programs — run without allocating in
+// steady state.  The package-level Solve draws Solvers from an internal
+// pool; Solution carries pivot, pricing-pass and allocation counters so
+// performance regressions are observable in benchmarks.
+//
+// Numbers are float64 with explicit tolerances; the prefetching LPs are
+// small and well scaled, and the experiment harness cross-checks the LP
+// results against an exhaustive search, so this precision is sufficient.
 package lp

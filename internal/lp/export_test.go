@@ -1,0 +1,7 @@
+package lp
+
+// DenseSolve exposes the test-only dense reference solver to external test
+// packages (which may import lpmodel without creating an import cycle), so
+// the property tests can compare the production flat-tableau Solver against
+// the pre-refactor dense path on the paper's LP models.
+var DenseSolve = denseSolve

@@ -48,6 +48,8 @@ type Problem struct {
 	numVars   int
 	objective []float64
 	cons      []Constraint
+
+	mergeBuf map[int]float64 // scratch for AddConstraint coefficient merging
 }
 
 // NewProblem creates a problem with the given number of non-negative
@@ -91,15 +93,43 @@ func (p *Problem) Objective(v int) float64 {
 // AddConstraint adds the constraint sum_i coeffs_i {sense} rhs and returns
 // its index.  Coefficients referring to the same variable are summed.
 func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
-	merged := make(map[int]float64, len(coeffs))
-	for _, c := range coeffs {
+	// The common case has no duplicate variables; detect that with a
+	// quadratic scan for short constraints (skipping the merge map entirely)
+	// and fall back to the map for long ones.
+	const scanLimit = 64
+	dup := len(coeffs) > scanLimit
+	for i, c := range coeffs {
 		p.checkVar(c.Var)
-		merged[c.Var] += c.Value
+		if dup {
+			continue
+		}
+		for _, prev := range coeffs[:i] {
+			if prev.Var == c.Var {
+				dup = true
+				break
+			}
+		}
 	}
-	out := make([]Coef, 0, len(merged))
-	for v, val := range merged {
-		if val != 0 {
-			out = append(out, Coef{Var: v, Value: val})
+	out := make([]Coef, 0, len(coeffs))
+	if !dup {
+		for _, c := range coeffs {
+			if c.Value != 0 {
+				out = append(out, c)
+			}
+		}
+	} else {
+		if p.mergeBuf == nil {
+			p.mergeBuf = make(map[int]float64, len(coeffs))
+		}
+		merged := p.mergeBuf
+		clear(merged)
+		for _, c := range coeffs {
+			merged[c.Var] += c.Value
+		}
+		for v, val := range merged {
+			if val != 0 {
+				out = append(out, Coef{Var: v, Value: val})
+			}
 		}
 	}
 	p.cons = append(p.cons, Constraint{Coeffs: out, Sense: sense, RHS: rhs})

@@ -1,0 +1,270 @@
+package lp_test
+
+// Property tests comparing the flat-tableau Solver against the pre-refactor
+// dense reference path and against the exhaustive search of package opt, on
+// both random LPs and the paper's synchronized-schedule models.  These live
+// in an external test package so they can import lpmodel/opt/workload (which
+// depend on lp) without an import cycle; the dense reference is reached
+// through lp.DenseSolve in export_test.go.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
+	"pfcache/internal/opt"
+	"pfcache/internal/workload"
+)
+
+// randomProblem builds a random LP with a known feasible point, mixing LE,
+// GE and EQ constraints (mirroring the generator of the solver unit tests).
+func randomProblem(rng *rand.Rand) (*lp.Problem, []float64) {
+	nVars := 2 + rng.Intn(6)
+	nCons := 1 + rng.Intn(8)
+	p := lp.NewProblem(nVars)
+	x0 := make([]float64, nVars)
+	for i := range x0 {
+		x0[i] = rng.Float64() * 5
+		p.SetObjective(i, rng.Float64()*4-1)
+	}
+	for c := 0; c < nCons; c++ {
+		coeffs := make([]lp.Coef, 0, nVars)
+		lhs := 0.0
+		for v := 0; v < nVars; v++ {
+			if rng.Float64() < 0.6 {
+				val := rng.Float64()*4 - 2
+				coeffs = append(coeffs, lp.Coef{Var: v, Value: val})
+				lhs += val * x0[v]
+			}
+		}
+		if len(coeffs) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddConstraint(coeffs, lp.LE, lhs+rng.Float64())
+		case 1:
+			p.AddConstraint(coeffs, lp.GE, lhs-rng.Float64())
+		default:
+			p.AddConstraint(coeffs, lp.EQ, lhs)
+		}
+	}
+	return p, x0
+}
+
+// TestFlatMatchesDenseRandom solves random feasible problems with both the
+// flat Solver and the dense reference and requires matching statuses and
+// objective values (the optimal vertex may differ on degenerate optima, so X
+// is checked only for feasibility).
+func TestFlatMatchesDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	solver := lp.NewSolver()
+	for trial := 0; trial < 200; trial++ {
+		p, _ := randomProblem(rng)
+		flat, err := solver.Solve(p, lp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: flat: %v", trial, err)
+		}
+		dense, err := lp.DenseSolve(p, lp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if flat.Status != dense.Status {
+			t.Fatalf("trial %d: status flat=%v dense=%v", trial, flat.Status, dense.Status)
+		}
+		if flat.Status != lp.StatusOptimal {
+			continue
+		}
+		if math.Abs(flat.Objective-dense.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective flat=%g dense=%g", trial, flat.Objective, dense.Objective)
+		}
+		if viol, idx := p.Violation(flat.X); viol > 1e-6 {
+			t.Fatalf("trial %d: flat solution violates constraint %d by %g", trial, idx, viol)
+		}
+	}
+}
+
+// TestFlatMatchesDenseInfeasible checks that both paths agree on an
+// infeasible system.
+func TestFlatMatchesDenseInfeasible(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.LE, 1)
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.GE, 2)
+	flat, err := lp.Solve(p, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := lp.DenseSolve(p, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Status != lp.StatusInfeasible || dense.Status != lp.StatusInfeasible {
+		t.Fatalf("status flat=%v dense=%v, want infeasible", flat.Status, dense.Status)
+	}
+}
+
+// TestFlatMatchesDenseUnbounded checks that both paths agree on an unbounded
+// objective.
+func TestFlatMatchesDenseUnbounded(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.GE, 1)
+	flat, err := lp.Solve(p, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := lp.DenseSolve(p, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Status != lp.StatusUnbounded || dense.Status != lp.StatusUnbounded {
+		t.Fatalf("status flat=%v dense=%v, want unbounded", flat.Status, dense.Status)
+	}
+}
+
+// TestFlatIterationLimit checks the iteration guard and its counters.
+func TestFlatIterationLimit(t *testing.T) {
+	p := lp.NewProblem(3)
+	for v := 0; v < 3; v++ {
+		p.SetObjective(v, -1)
+	}
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}, {Var: 2, Value: 1}}, lp.LE, 10)
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 2}}, lp.LE, 8)
+	p.AddConstraint([]lp.Coef{{Var: 1, Value: 1}, {Var: 2, Value: 3}}, lp.LE, 9)
+	sol, err := lp.Solve(p, lp.Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusIterLimit && sol.Status != lp.StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Iterations > 1 {
+		t.Fatalf("iterations = %d, want <= 1", sol.Iterations)
+	}
+}
+
+// TestSolverReuseIsAllocationFree asserts that a reused Solver stops
+// allocating tableau buffers after the first solve of a given size, which is
+// the property the experiment sweeps rely on.
+func TestSolverReuseIsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	solver := lp.NewSolver()
+	p, _ := randomProblem(rng)
+	first, err := solver.Solve(p, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TableauAllocs == 0 {
+		t.Fatalf("first solve reported zero tableau allocations")
+	}
+	again, err := solver.Solve(p, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TableauAllocs != 0 {
+		t.Fatalf("repeat solve allocated %d buffers, want 0", again.TableauAllocs)
+	}
+	if again.Status != first.Status || math.Abs(again.Objective-first.Objective) > 1e-9 {
+		t.Fatalf("repeat solve diverged: %+v vs %+v", again, first)
+	}
+}
+
+// TestFlatMatchesDenseOnPaperModels builds the synchronized-schedule LP for
+// random small multi-disk instances and requires the flat Solver and the
+// dense reference to agree on the relaxation's optimal value; the value must
+// also be a valid lower bound on the exhaustive-search optimal stall, and
+// the extracted schedule's stall must never beat the exhaustive optimum
+// (which is allowed extra cache as in Lemma 3).
+func TestFlatMatchesDenseOnPaperModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search is slow in -short mode")
+	}
+	for trial := 0; trial < 6; trial++ {
+		disks := 1 + trial%3
+		seq := workload.Uniform(9, 5, int64(4000+trial))
+		in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
+		m, err := lpmodel.Build(in)
+		if err != nil {
+			t.Fatalf("trial %d: Build: %v", trial, err)
+		}
+		fracSolver := lp.NewSolver()
+		flat, err := lp.Solve(m.Problem, lp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: flat: %v", trial, err)
+		}
+		frac, err := m.SolveWith(fracSolver, lp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: SolveWith: %v", trial, err)
+		}
+		if math.Abs(frac.Objective-flat.Objective) > 1e-9 {
+			t.Fatalf("trial %d: SolveWith objective %g differs from Solve %g", trial, frac.Objective, flat.Objective)
+		}
+		dense, err := lp.DenseSolve(m.Problem, lp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if flat.Status != lp.StatusOptimal || dense.Status != lp.StatusOptimal {
+			t.Fatalf("trial %d: status flat=%v dense=%v", trial, flat.Status, dense.Status)
+		}
+		if math.Abs(flat.Objective-dense.Objective) > 1e-6 {
+			t.Fatalf("trial %d: LP objective flat=%g dense=%g", trial, flat.Objective, dense.Objective)
+		}
+		optRes, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: opt: %v", trial, err)
+		}
+		if flat.Objective > float64(optRes.Stall)+1e-6 {
+			t.Fatalf("trial %d: LP bound %g exceeds optimal stall %d", trial, flat.Objective, optRes.Stall)
+		}
+		res, err := lpmodel.Plan(in, lp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Plan: %v", trial, err)
+		}
+		if res.Stall > optRes.Stall {
+			t.Fatalf("trial %d: plan stall %d worse than optimal stall %d", trial, res.Stall, optRes.Stall)
+		}
+	}
+}
+
+// buildE7SizedProblem constructs the synchronized-schedule LP at the E7
+// sweep's size, the model the flat solver was rebuilt for.
+func buildE7SizedProblem(b *testing.B) *lp.Problem {
+	b.Helper()
+	seq := workload.Uniform(11, 6, 900)
+	in := workload.Instance(seq, 3, 2, 3, workload.AssignStripe, 0)
+	m, err := lpmodel.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.Problem
+}
+
+// BenchmarkFlatSolveE7Size is the production flat-tableau path with a
+// reused Solver.
+func BenchmarkFlatSolveE7Size(b *testing.B) {
+	p := buildE7SizedProblem(b)
+	solver := lp.NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(p, lp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDenseSolveE7Size is the pre-refactor dense [][]float64 reference
+// path on the same problem, kept so the speedup stays measurable.
+func BenchmarkDenseSolveE7Size(b *testing.B) {
+	p := buildE7SizedProblem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.DenseSolve(p, lp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

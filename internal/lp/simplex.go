@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Status is the outcome of a solve.
@@ -54,259 +55,427 @@ type Solution struct {
 	X []float64
 	// Objective is the objective value of X.
 	Objective float64
-	// Iterations is the number of simplex pivots performed.
+	// Iterations is the total number of simplex pivots performed (both
+	// phases).
 	Iterations int
+	// Phase1Iterations is the number of pivots spent finding a basic
+	// feasible solution.
+	Phase1Iterations int
+	// PricingPasses is the number of full reduced-cost sweeps over all
+	// columns; partial pricing keeps this far below Iterations on large
+	// programs.
+	PricingPasses int
+	// TableauAllocs is the number of backing-buffer allocations this solve
+	// performed; 0 means the Solver reused buffers from an earlier solve.
+	TableauAllocs int
 }
 
 const defaultTolerance = 1e-9
 
-// Solve runs the two-phase primal simplex method on the problem.
+// solverPool recycles Solvers (and so their tableau buffers) across
+// package-level Solve calls, which is what makes repeated solves in the
+// experiment sweeps allocation-free in steady state.
+var solverPool = sync.Pool{New: func() interface{} { return NewSolver() }}
+
+// Solve runs the two-phase primal simplex method on the problem.  It draws a
+// reusable Solver from an internal pool; callers with a long sequence of
+// solves can hold their own Solver instead.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	s := solverPool.Get().(*Solver)
+	sol, err := s.Solve(p, opts)
+	solverPool.Put(s)
+	return sol, err
+}
+
+// Solver is a reusable two-phase primal simplex solver.  The tableau is one
+// contiguous float64 slice in row-major order (row stride cols+1, the last
+// column holding the right-hand side); columns are the problem variables,
+// then slack/surplus variables, then artificial variables, so artificial
+// membership is the index range [artLo, cols).  All working buffers are kept
+// between solves, so a Solver that has seen a problem of a given size solves
+// subsequent problems of similar size without allocating.
+//
+// A Solver is not safe for concurrent use; use one per goroutine (the
+// package-level Solve does this via an internal pool).
+type Solver struct {
+	p   *Problem // problem being solved (valid during Solve only)
+	tol float64
+
+	rows   int // number of constraints
+	cols   int // structural columns (vars + slacks + artificials)
+	stride int // cols + 1; the extra column is the RHS
+
+	numVars  int
+	numSlack int
+	numArt   int
+	artLo    int // first artificial column; artificials are [artLo, cols)
+
+	a     []float64 // rows*stride backing array
+	basis []int     // basis[i] is the column basic in row i
+	costs []float64 // cost vector of the current phase
+	rc    []float64 // reduced-cost scratch for full pricing passes
+	cand  []int     // candidate columns from the last full pricing pass
+	plans []Sense   // per-row effective sense after RHS sign normalisation
+
+	phase int // 1 or 2; artificial columns may enter only in phase 1
+
+	iterations  int
+	phase1Iters int
+	fullPasses  int
+	allocs      int
+}
+
+// NewSolver returns an empty Solver; buffers are allocated lazily on first
+// use and reused afterwards.
+func NewSolver() *Solver { return &Solver{} }
+
+// candListSize bounds the candidate list kept by partial pricing: a full
+// pricing pass remembers up to this many attractive columns, and subsequent
+// pivots price only those until the list runs dry.
+const candListSize = 24
+
+// Solve solves the problem, reusing the solver's buffers.
+func (s *Solver) Solve(p *Problem, opts Options) (*Solution, error) {
 	tol := opts.Tolerance
 	if tol <= 0 {
 		tol = defaultTolerance
 	}
-	t := newTableau(p, tol)
+	s.p = p
+	defer func() { s.p = nil }() // do not retain the problem after the solve
+	s.tol = tol
+	s.iterations = 0
+	s.phase1Iters = 0
+	s.fullPasses = 0
+	s.allocs = 0
+	s.load(p)
+
 	maxIter := opts.MaxIterations
 	if maxIter <= 0 {
-		maxIter = 200 * (t.cols + t.rows)
+		maxIter = 200 * (s.cols + s.rows)
 		if maxIter < 20000 {
 			maxIter = 20000
 		}
 	}
 
 	// Phase one: minimise the sum of artificial variables.
-	if t.numArtificial > 0 {
-		status := t.optimize(t.phase1Costs(), maxIter)
+	if s.numArt > 0 {
+		s.setPhase(1)
+		status := s.optimize(maxIter)
+		s.phase1Iters = s.iterations
 		if status == StatusIterLimit {
-			return &Solution{Status: StatusIterLimit, Iterations: t.iterations}, nil
+			return s.solution(StatusIterLimit, p), nil
 		}
-		if t.objectiveValue(t.phase1Costs()) > tol*float64(1+t.rows) {
-			return &Solution{Status: StatusInfeasible, Iterations: t.iterations}, nil
+		if s.objectiveValue() > tol*float64(1+s.rows) {
+			return s.solution(StatusInfeasible, p), nil
 		}
-		t.driveOutArtificials()
+		s.driveOutArtificials()
 	}
 
 	// Phase two: minimise the real objective.
-	status := t.optimize(t.phase2Costs(), maxIter)
+	s.setPhase(2)
+	status := s.optimize(maxIter)
 	switch status {
 	case StatusIterLimit, StatusUnbounded:
-		return &Solution{Status: status, Iterations: t.iterations}, nil
+		return s.solution(status, p), nil
 	}
-	x := t.extract()
-	return &Solution{
-		Status:     StatusOptimal,
-		X:          x,
-		Objective:  p.Value(x),
-		Iterations: t.iterations,
-	}, nil
+	return s.solution(StatusOptimal, p), nil
 }
 
-// tableau is the dense simplex tableau.  Columns are: the problem variables,
-// then slack/surplus variables, then artificial variables; the final column
-// is the right-hand side.
-type tableau struct {
-	p   *Problem
-	tol float64
-
-	rows int // number of constraints
-	cols int // number of structural columns (vars + slacks + artificials)
-
-	numVars       int
-	numSlack      int
-	numArtificial int
-
-	a     [][]float64 // rows x (cols+1); a[i][cols] is the RHS
-	basis []int       // basis[i] is the column basic in row i
-
-	iterations int
-	artCol     map[int]bool // columns that are artificial
+// grabFloats returns buf resized to n, reallocating only when capacity is
+// short; fresh content is NOT zeroed.
+func (s *Solver) grabFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		s.allocs++
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
-func newTableau(p *Problem, tol float64) *tableau {
-	rows := p.NumConstraints()
-	t := &tableau{
-		p:       p,
-		tol:     tol,
-		rows:    rows,
-		numVars: p.NumVars(),
-		artCol:  make(map[int]bool),
+func (s *Solver) grabInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		s.allocs++
+		return make([]int, n)
 	}
-	// Count slacks and artificials.
-	type rowPlan struct {
-		slackSign  float64 // +1 for LE, -1 for GE, 0 for EQ (after RHS sign fix)
-		artificial bool
-	}
-	plans := make([]rowPlan, rows)
-	for i := 0; i < rows; i++ {
-		c := p.Constraint(i)
-		sense := c.Sense
-		flip := c.RHS < 0
-		if flip {
-			// Multiply the row by -1 so the RHS becomes non-negative.
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
+	return buf[:n]
+}
+
+// effectiveSense is the sense of a constraint after the row is multiplied
+// by -1 when its RHS is negative (so the tableau RHS is non-negative).
+func effectiveSense(c Constraint) Sense {
+	if c.RHS < 0 {
+		switch c.Sense {
+		case LE:
+			return GE
+		case GE:
+			return LE
 		}
+	}
+	return c.Sense
+}
+
+// load builds the flat tableau from the problem's sparse constraints.
+func (s *Solver) load(p *Problem) {
+	rows := p.NumConstraints()
+	s.rows = rows
+	s.numVars = p.NumVars()
+	s.numSlack = 0
+	s.numArt = 0
+	if cap(s.plans) < rows {
+		s.allocs++
+		s.plans = make([]Sense, rows)
+	}
+	s.plans = s.plans[:rows]
+	for i := 0; i < rows; i++ {
+		sense := effectiveSense(p.Constraint(i))
+		s.plans[i] = sense
 		switch sense {
 		case LE:
-			plans[i] = rowPlan{slackSign: 1, artificial: false}
-			t.numSlack++
+			s.numSlack++
 		case GE:
-			plans[i] = rowPlan{slackSign: -1, artificial: true}
-			t.numSlack++
-			t.numArtificial++
+			s.numSlack++
+			s.numArt++
 		case EQ:
-			plans[i] = rowPlan{slackSign: 0, artificial: true}
-			t.numArtificial++
+			s.numArt++
 		}
 	}
-	t.cols = t.numVars + t.numSlack + t.numArtificial
-	t.a = make([][]float64, rows)
-	t.basis = make([]int, rows)
+	s.cols = s.numVars + s.numSlack + s.numArt
+	s.stride = s.cols + 1
+	s.artLo = s.numVars + s.numSlack
 
-	slackIdx := t.numVars
-	artIdx := t.numVars + t.numSlack
+	s.a = s.grabFloats(s.a, rows*s.stride)
+	clear(s.a)
+	s.basis = s.grabInts(s.basis, rows)
+	s.costs = s.grabFloats(s.costs, s.cols)
+	s.rc = s.grabFloats(s.rc, s.cols)
+	if s.cand == nil {
+		s.allocs++
+		s.cand = make([]int, 0, candListSize)
+	}
+	s.cand = s.cand[:0]
+
+	slackIdx := s.numVars
+	artIdx := s.artLo
 	for i := 0; i < rows; i++ {
-		row := make([]float64, t.cols+1)
 		c := p.Constraint(i)
+		sense := s.plans[i]
 		sign := 1.0
 		if c.RHS < 0 {
 			sign = -1.0
 		}
+		row := s.a[i*s.stride : i*s.stride+s.stride]
 		for _, co := range c.Coeffs {
 			row[co.Var] += sign * co.Value
 		}
-		row[t.cols] = sign * c.RHS
-		if plans[i].slackSign != 0 {
-			row[slackIdx] = plans[i].slackSign
-			if plans[i].slackSign > 0 && !plans[i].artificial {
-				t.basis[i] = slackIdx
-			}
+		row[s.cols] = sign * c.RHS
+		switch sense {
+		case LE:
+			row[slackIdx] = 1
+			s.basis[i] = slackIdx
 			slackIdx++
-		}
-		if plans[i].artificial {
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
 			row[artIdx] = 1
-			t.basis[i] = artIdx
-			t.artCol[artIdx] = true
+			s.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			s.basis[i] = artIdx
 			artIdx++
 		}
-		t.a[i] = row
 	}
-	return t
 }
 
-// phase1Costs returns the phase-one cost vector: 1 for artificial columns.
-func (t *tableau) phase1Costs() []float64 {
-	costs := make([]float64, t.cols)
-	for c := range t.artCol {
-		costs[c] = 1
+// setPhase installs the cost vector of the given phase: phase one charges 1
+// per artificial variable, phase two charges the problem objective on the
+// structural variables (artificial columns are excluded from pricing
+// entirely in phase two, so their cost is irrelevant).
+func (s *Solver) setPhase(phase int) {
+	s.phase = phase
+	clear(s.costs)
+	if phase == 1 {
+		for j := s.artLo; j < s.cols; j++ {
+			s.costs[j] = 1
+		}
+		return
 	}
-	return costs
+	for v := 0; v < s.numVars; v++ {
+		s.costs[v] = s.p.Objective(v)
+	}
 }
 
-// phase2Costs returns the real objective over structural columns (artificial
-// columns get a prohibitively large cost so they stay out of the basis).
-func (t *tableau) phase2Costs() []float64 {
-	costs := make([]float64, t.cols)
-	for v := 0; v < t.numVars; v++ {
-		costs[v] = t.p.Objective(v)
-	}
-	for c := range t.artCol {
-		costs[c] = 0 // artificials are fixed at zero after phase one
-	}
-	return costs
-}
-
-// objectiveValue evaluates the given cost vector at the current basic
-// solution.
-func (t *tableau) objectiveValue(costs []float64) float64 {
+// objectiveValue evaluates the current phase's cost vector at the current
+// basic solution.
+func (s *Solver) objectiveValue() float64 {
 	total := 0.0
-	for i := 0; i < t.rows; i++ {
-		total += costs[t.basis[i]] * t.a[i][t.cols]
+	for i := 0; i < s.rows; i++ {
+		cb := s.costs[s.basis[i]]
+		if cb != 0 {
+			total += cb * s.a[i*s.stride+s.cols]
+		}
 	}
 	return total
 }
 
-// reducedCosts computes the reduced cost of every column for the given cost
-// vector.
-func (t *tableau) reducedCosts(costs []float64) []float64 {
-	// y = c_B B^{-1} is implicit: because the tableau rows are kept in
-	// B^{-1}A form, the reduced cost of column j is c_j - sum_i c_{B(i)} a_ij.
-	rc := make([]float64, t.cols)
-	copy(rc, costs)
-	for i := 0; i < t.rows; i++ {
-		cb := costs[t.basis[i]]
+// priceLimit is the exclusive upper bound of columns eligible to enter the
+// basis: artificial columns may enter only during phase one.
+func (s *Solver) priceLimit() int {
+	if s.phase == 1 {
+		return s.cols
+	}
+	return s.artLo
+}
+
+// reducedCost computes the reduced cost of a single column against the
+// current basis.
+func (s *Solver) reducedCost(j int) float64 {
+	r := s.costs[j]
+	for i := 0; i < s.rows; i++ {
+		cb := s.costs[s.basis[i]]
+		if cb != 0 {
+			r -= cb * s.a[i*s.stride+j]
+		}
+	}
+	return r
+}
+
+// fullPrice runs one cache-friendly row-wise sweep computing the reduced
+// cost of every column into s.rc.
+func (s *Solver) fullPrice() {
+	s.fullPasses++
+	rc := s.rc
+	copy(rc, s.costs)
+	for i := 0; i < s.rows; i++ {
+		cb := s.costs[s.basis[i]]
 		if cb == 0 {
 			continue
 		}
-		row := t.a[i]
-		for j := 0; j < t.cols; j++ {
-			if row[j] != 0 {
-				rc[j] -= cb * row[j]
+		row := s.a[i*s.stride : i*s.stride+s.cols]
+		for j, v := range row {
+			if v != 0 {
+				rc[j] -= cb * v
 			}
 		}
 	}
-	return rc
 }
 
-// optimize runs simplex pivots for the given cost vector until optimality,
-// unboundedness or the iteration limit.  It uses Dantzig pricing and switches
-// to Bland's rule after a run of degenerate pivots to guarantee termination.
-func (t *tableau) optimize(costs []float64, maxIter int) Status {
+// rebuildCandidates refreshes the candidate list from a full pricing pass
+// and returns the most attractive eligible column, or -1 at optimality.
+func (s *Solver) rebuildCandidates() int {
+	s.fullPrice()
+	limit := s.priceLimit()
+	s.cand = s.cand[:0]
+	best, bestRC := -1, -s.tol
+	// Keep the candListSize most negative reduced costs.  worst tracks the
+	// largest (least attractive) reduced cost currently in the list so most
+	// columns are rejected with a single comparison.
+	worst := math.Inf(-1)
+	for j := 0; j < limit; j++ {
+		r := s.rc[j]
+		if r >= -s.tol {
+			continue
+		}
+		if r < bestRC {
+			bestRC, best = r, j
+		}
+		if len(s.cand) < candListSize {
+			s.cand = append(s.cand, j)
+			if r > worst {
+				worst = r
+			}
+			continue
+		}
+		if r >= worst {
+			continue
+		}
+		// Replace the current worst candidate; the list's new maximum is
+		// the larger of its old runner-up and the newcomer.
+		wi, wr, runnerUp := 0, math.Inf(-1), math.Inf(-1)
+		for k, cj := range s.cand {
+			v := s.rc[cj]
+			if v > wr {
+				runnerUp = wr
+				wr, wi = v, k
+			} else if v > runnerUp {
+				runnerUp = v
+			}
+		}
+		s.cand[wi] = j
+		worst = runnerUp
+		if r > worst {
+			worst = r
+		}
+	}
+	return best
+}
+
+// priceDantzig returns the entering column under Dantzig pricing with a
+// candidate list: surviving candidates from the last full pass are re-priced
+// exactly (a handful of columns), and only when none remains attractive does
+// the solver pay for a full pricing sweep.
+func (s *Solver) priceDantzig() int {
+	best, bestRC := -1, -s.tol
+	w := 0
+	for _, j := range s.cand {
+		r := s.reducedCost(j)
+		if r < -s.tol {
+			s.cand[w] = j
+			w++
+			if r < bestRC {
+				bestRC, best = r, j
+			}
+		}
+	}
+	s.cand = s.cand[:w]
+	if best >= 0 {
+		return best
+	}
+	return s.rebuildCandidates()
+}
+
+// priceBland returns the smallest-index eligible column with negative
+// reduced cost (Bland's anti-cycling rule), or -1 at optimality.
+func (s *Solver) priceBland() int {
+	s.fullPrice()
+	limit := s.priceLimit()
+	for j := 0; j < limit; j++ {
+		if s.rc[j] < -s.tol {
+			return j
+		}
+	}
+	return -1
+}
+
+// optimize runs simplex pivots for the current phase until optimality,
+// unboundedness or the iteration limit.  It uses Dantzig pricing over a
+// candidate list and switches to Bland's rule after a run of degenerate
+// pivots to guarantee termination.
+func (s *Solver) optimize(maxIter int) Status {
 	degenerate := 0
 	const degenerateSwitch = 50
-	lastObj := t.objectiveValue(costs)
+	lastObj := s.objectiveValue()
+	s.cand = s.cand[:0]
 	for {
-		if t.iterations >= maxIter {
+		if s.iterations >= maxIter {
 			return StatusIterLimit
 		}
-		rc := t.reducedCosts(costs)
-		useBland := degenerate >= degenerateSwitch
-		enter := -1
-		if useBland {
-			for j := 0; j < t.cols; j++ {
-				if rc[j] < -t.tol && !t.blockedColumn(costs, j) {
-					enter = j
-					break
-				}
-			}
+		var enter int
+		if degenerate >= degenerateSwitch {
+			enter = s.priceBland()
 		} else {
-			best := -t.tol
-			for j := 0; j < t.cols; j++ {
-				if rc[j] < best && !t.blockedColumn(costs, j) {
-					best = rc[j]
-					enter = j
-				}
-			}
+			enter = s.priceDantzig()
 		}
 		if enter < 0 {
 			return StatusOptimal
 		}
-		// Ratio test.
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < t.rows; i++ {
-			aij := t.a[i][enter]
-			if aij <= t.tol {
-				continue
-			}
-			ratio := t.a[i][t.cols] / aij
-			if ratio < bestRatio-t.tol || (math.Abs(ratio-bestRatio) <= t.tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
-				bestRatio = ratio
-				leave = i
-			}
-		}
+		leave := s.ratioTest(enter)
 		if leave < 0 {
 			return StatusUnbounded
 		}
-		t.pivot(leave, enter)
-		t.iterations++
-		obj := t.objectiveValue(costs)
-		if obj >= lastObj-t.tol {
+		s.pivot(leave, enter)
+		s.iterations++
+		obj := s.objectiveValue()
+		if obj >= lastObj-s.tol {
 			degenerate++
 		} else {
 			degenerate = 0
@@ -315,79 +484,107 @@ func (t *tableau) optimize(costs []float64, maxIter int) Status {
 	}
 }
 
-// blockedColumn reports whether column j must not enter the basis: artificial
-// columns are blocked in phase two.
-func (t *tableau) blockedColumn(costs []float64, j int) bool {
-	if !t.artCol[j] {
-		return false
+// ratioTest picks the leaving row for the entering column, breaking ties
+// towards the smallest basis index (lexicographic anti-cycling bias).
+func (s *Solver) ratioTest(enter int) int {
+	leave := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < s.rows; i++ {
+		aij := s.a[i*s.stride+enter]
+		if aij <= s.tol {
+			continue
+		}
+		ratio := s.a[i*s.stride+s.cols] / aij
+		if ratio < bestRatio-s.tol ||
+			(math.Abs(ratio-bestRatio) <= s.tol && (leave < 0 || s.basis[i] < s.basis[leave])) {
+			bestRatio = ratio
+			leave = i
+		}
 	}
-	// During phase one artificials carry cost 1; in phase two they carry cost
-	// 0 and are blocked.
-	return costs[j] == 0
+	return leave
 }
 
-// pivot performs a Gauss-Jordan pivot on (row, col).
-func (t *tableau) pivot(row, col int) {
-	piv := t.a[row][col]
-	r := t.a[row]
-	inv := 1.0 / piv
-	for j := 0; j <= t.cols; j++ {
+// pivot performs a Gauss-Jordan pivot on (row, col) over the flat tableau.
+func (s *Solver) pivot(row, col int) {
+	stride := s.stride
+	r := s.a[row*stride : row*stride+stride]
+	inv := 1.0 / r[col]
+	for j := range r {
 		r[j] *= inv
 	}
-	for i := 0; i < t.rows; i++ {
+	for i := 0; i < s.rows; i++ {
 		if i == row {
 			continue
 		}
-		factor := t.a[i][col]
+		ri := s.a[i*stride : i*stride+stride]
+		factor := ri[col]
 		if factor == 0 {
 			continue
 		}
-		ri := t.a[i]
-		for j := 0; j <= t.cols; j++ {
-			ri[j] -= factor * r[j]
+		for j, v := range r {
+			if v != 0 {
+				ri[j] -= factor * v
+			}
 		}
 		ri[col] = 0
 	}
-	t.basis[row] = col
+	s.basis[row] = col
 }
 
-// driveOutArtificials removes artificial variables from the basis after phase
-// one, pivoting on any usable structural column, or dropping the row when it
-// has become redundant.
-func (t *tableau) driveOutArtificials() {
-	for i := 0; i < t.rows; i++ {
-		if !t.artCol[t.basis[i]] {
+// driveOutArtificials removes artificial variables from the basis after
+// phase one, pivoting on any usable structural column, or neutralising the
+// row when it has become redundant.
+func (s *Solver) driveOutArtificials() {
+	for i := 0; i < s.rows; i++ {
+		if s.basis[i] < s.artLo {
 			continue
 		}
 		pivoted := false
-		for j := 0; j < t.numVars+t.numSlack; j++ {
-			if math.Abs(t.a[i][j]) > t.tol {
-				t.pivot(i, j)
+		row := s.a[i*s.stride : i*s.stride+s.artLo]
+		for j, v := range row {
+			if math.Abs(v) > s.tol {
+				s.pivot(i, j)
 				pivoted = true
 				break
 			}
 		}
 		if !pivoted {
-			// The row is all zeros over structural columns: the constraint is
-			// redundant; keep the artificial basic at value zero.  Zero the
-			// RHS to guard against accumulated round-off.
-			t.a[i][t.cols] = 0
+			// The row is all zeros over structural columns: the constraint
+			// is redundant; keep the artificial basic at value zero.  Zero
+			// the RHS to guard against accumulated round-off.
+			s.a[i*s.stride+s.cols] = 0
 		}
 	}
 }
 
 // extract reads the current basic solution restricted to problem variables.
-func (t *tableau) extract() []float64 {
-	x := make([]float64, t.numVars)
-	for i := 0; i < t.rows; i++ {
-		b := t.basis[i]
-		if b < t.numVars {
-			v := t.a[i][t.cols]
-			if v < 0 && v > -t.tol {
+func (s *Solver) extract() []float64 {
+	x := make([]float64, s.numVars)
+	for i := 0; i < s.rows; i++ {
+		b := s.basis[i]
+		if b < s.numVars {
+			v := s.a[i*s.stride+s.cols]
+			if v < 0 && v > -s.tol {
 				v = 0
 			}
 			x[b] = v
 		}
 	}
 	return x
+}
+
+// solution assembles the Solution for the given terminal status.
+func (s *Solver) solution(status Status, p *Problem) *Solution {
+	sol := &Solution{
+		Status:           status,
+		Iterations:       s.iterations,
+		Phase1Iterations: s.phase1Iters,
+		PricingPasses:    s.fullPasses,
+		TableauAllocs:    s.allocs,
+	}
+	if status == StatusOptimal {
+		sol.X = s.extract()
+		sol.Objective = p.Value(sol.X)
+	}
+	return sol
 }

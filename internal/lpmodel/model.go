@@ -30,11 +30,8 @@ func (iv Interval) ContainsRequest(q int) bool { return iv.Start < q && q < iv.E
 // String renders the interval.
 func (iv Interval) String() string { return fmt.Sprintf("(%d,%d)", iv.Start, iv.End) }
 
-// varKey identifies a fetch or eviction variable.
-type varKey struct {
-	interval int
-	block    core.BlockID
-}
+// noVar marks an (interval, block) pair without a fetch/eviction variable.
+const noVar = -1
 
 // Model is the synchronized-schedule linear program for one instance.
 type Model struct {
@@ -51,13 +48,18 @@ type Model struct {
 	// Problem is the LP relaxation.
 	Problem *lp.Problem
 
-	xVar map[int]int    // interval index -> variable
-	fVar map[varKey]int // (interval, block) -> fetch variable
-	eVar map[varKey]int // (interval, block) -> eviction variable
-	sVar map[[2]int]int // (interval, disk) -> scratch fetch variable
+	// Variable lookup is flat and index-based: intervals are numbered by
+	// position in Intervals, blocks by position in Blocks, so the dense maps
+	// of the earlier implementation become slice lookups.
+	xVar []int // interval -> x(I) variable
+	fVar []int // interval*len(Blocks)+blockPos -> fetch variable or noVar
+	eVar []int // interval*len(Blocks)+blockPos -> eviction variable or noVar
+	sVar []int // interval*Disks+disk -> scratch fetch variable
 
 	ix      *core.Index
 	initial map[core.BlockID]bool
+
+	gapBuf []int // scratch for gapIntervals
 }
 
 // Fractional is an optimal solution of the LP relaxation.
@@ -84,10 +86,6 @@ func Build(in *core.Instance) (*Model, error) {
 	}
 	m := &Model{
 		In:      in,
-		xVar:    make(map[int]int),
-		fVar:    make(map[varKey]int),
-		eVar:    make(map[varKey]int),
-		sVar:    make(map[[2]int]int),
 		ix:      core.NewIndex(in.Seq),
 		initial: make(map[core.BlockID]bool),
 	}
@@ -120,6 +118,7 @@ func Build(in *core.Instance) (*Model, error) {
 
 	prob := lp.NewProblem(0)
 	m.Problem = prob
+	m.xVar = make([]int, len(m.Intervals))
 	for idx, iv := range m.Intervals {
 		m.xVar[idx] = prob.AddVariable(float64(iv.Stall(in.F)))
 	}
@@ -127,13 +126,18 @@ func Build(in *core.Instance) (*Model, error) {
 	// where the block is not referenced strictly inside the interval (the
 	// paper's constraint that a block may not be fetched or evicted while it
 	// is being referenced).
+	m.fVar = make([]int, len(m.Intervals)*len(m.Blocks))
+	m.eVar = make([]int, len(m.Intervals)*len(m.Blocks))
 	for idx, iv := range m.Intervals {
-		for _, b := range m.Blocks {
+		base := idx * len(m.Blocks)
+		for bi, b := range m.Blocks {
 			if m.blockReferencedInside(b, iv) {
+				m.fVar[base+bi] = noVar
+				m.eVar[base+bi] = noVar
 				continue
 			}
-			m.fVar[varKey{idx, b}] = prob.AddVariable(0)
-			m.eVar[varKey{idx, b}] = prob.AddVariable(0)
+			m.fVar[base+bi] = prob.AddVariable(0)
+			m.eVar[base+bi] = prob.AddVariable(0)
 		}
 	}
 	// Scratch variables implement the idle-disk fetches of Lemma 3: a disk
@@ -142,9 +146,10 @@ func Build(in *core.Instance) (*Model, error) {
 	// the interval ends.  A scratch fetch therefore counts towards the
 	// disk's fetch balance but needs no eviction and affects no block's
 	// presence constraints.
+	m.sVar = make([]int, len(m.Intervals)*in.Disks)
 	for idx := range m.Intervals {
 		for d := 0; d < in.Disks; d++ {
-			m.sVar[[2]int{idx, d}] = prob.AddVariable(0)
+			m.sVar[idx*in.Disks+d] = prob.AddVariable(0)
 		}
 	}
 
@@ -153,6 +158,14 @@ func Build(in *core.Instance) (*Model, error) {
 	m.addBlockFlowConstraints()
 	return m, nil
 }
+
+// fetchVar returns the fetch variable of (interval idx, block position bi),
+// or noVar when the pair has none.
+func (m *Model) fetchVar(idx, bi int) int { return m.fVar[idx*len(m.Blocks)+bi] }
+
+// evictVar returns the eviction variable of (interval idx, block position
+// bi), or noVar when the pair has none.
+func (m *Model) evictVar(idx, bi int) int { return m.eVar[idx*len(m.Blocks)+bi] }
 
 // blockDisk returns the disk a block resides on; dummy blocks live on disk 0.
 func (m *Model) blockDisk(b core.BlockID) int {
@@ -199,23 +212,23 @@ func (m *Model) addPerIntervalConstraints() {
 	for idx := range m.Intervals {
 		x := m.xVar[idx]
 		for d := 0; d < m.In.Disks; d++ {
-			coeffs := []lp.Coef{{Var: x, Value: -1}, {Var: m.sVar[[2]int{idx, d}], Value: 1}}
-			for _, b := range m.Blocks {
+			coeffs := []lp.Coef{{Var: x, Value: -1}, {Var: m.sVar[idx*m.In.Disks+d], Value: 1}}
+			for bi, b := range m.Blocks {
 				if m.blockDisk(b) != d {
 					continue
 				}
-				if v, ok := m.fVar[varKey{idx, b}]; ok {
+				if v := m.fetchVar(idx, bi); v != noVar {
 					coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
 				}
 			}
 			m.Problem.AddConstraint(coeffs, lp.EQ, 0)
 		}
 		var coeffs []lp.Coef
-		for _, b := range m.Blocks {
-			if v, ok := m.fVar[varKey{idx, b}]; ok {
+		for bi := range m.Blocks {
+			if v := m.fetchVar(idx, bi); v != noVar {
 				coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
 			}
-			if v, ok := m.eVar[varKey{idx, b}]; ok {
+			if v := m.evictVar(idx, bi); v != noVar {
 				coeffs = append(coeffs, lp.Coef{Var: v, Value: -1})
 			}
 		}
@@ -224,14 +237,16 @@ func (m *Model) addPerIntervalConstraints() {
 }
 
 // gapIntervals returns the indices of intervals fully contained in the open
-// request-number gap (lo, hi): Start >= lo and End <= hi.
+// request-number gap (lo, hi): Start >= lo and End <= hi.  The returned
+// slice is valid until the next call.
 func (m *Model) gapIntervals(lo, hi int) []int {
-	var out []int
+	out := m.gapBuf[:0]
 	for idx, iv := range m.Intervals {
 		if iv.Start >= lo && iv.End <= hi {
 			out = append(out, idx)
 		}
 	}
+	m.gapBuf = out
 	return out
 }
 
@@ -241,7 +256,7 @@ func (m *Model) gapIntervals(lo, hi int) []int {
 // dummy) are evicted at most once before their next use.
 func (m *Model) addBlockFlowConstraints() {
 	n := m.In.N()
-	for _, b := range m.Blocks {
+	for bi, b := range m.Blocks {
 		occ := m.ix.Occurrences(b)
 		if len(occ) == 0 {
 			// Never-referenced block (a dummy or an unused initial block):
@@ -251,7 +266,7 @@ func (m *Model) addBlockFlowConstraints() {
 			}
 			var coeffs []lp.Coef
 			for _, idx := range m.gapIntervals(0, n) {
-				if v, ok := m.eVar[varKey{idx, b}]; ok {
+				if v := m.evictVar(idx, bi); v != noVar {
 					coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
 				}
 			}
@@ -271,10 +286,10 @@ func (m *Model) addBlockFlowConstraints() {
 			fc := []lp.Coef{}
 			ec := []lp.Coef{}
 			for _, idx := range m.gapIntervals(0, first) {
-				if v, ok := m.fVar[varKey{idx, b}]; ok {
+				if v := m.fetchVar(idx, bi); v != noVar {
 					fc = append(fc, lp.Coef{Var: v, Value: 1})
 				}
-				if v, ok := m.eVar[varKey{idx, b}]; ok {
+				if v := m.evictVar(idx, bi); v != noVar {
 					ec = append(ec, lp.Coef{Var: v, Value: 1})
 				}
 			}
@@ -285,15 +300,15 @@ func (m *Model) addBlockFlowConstraints() {
 		} else {
 			// Initially cached: within the gap before the first reference the
 			// block may be evicted and fetched back, at most once.
-			m.addGapBalance(b, 0, first)
+			m.addGapBalance(bi, 0, first)
 		}
 		for i := 0; i+1 < len(refs); i++ {
-			m.addGapBalance(b, refs[i], refs[i+1])
+			m.addGapBalance(bi, refs[i], refs[i+1])
 		}
 		// After the last reference the block may be evicted at most once.
 		var coeffs []lp.Coef
 		for _, idx := range m.gapIntervals(refs[len(refs)-1], n) {
-			if v, ok := m.eVar[varKey{idx, b}]; ok {
+			if v := m.evictVar(idx, bi); v != noVar {
 				coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
 			}
 		}
@@ -303,17 +318,18 @@ func (m *Model) addBlockFlowConstraints() {
 	}
 }
 
-// addGapBalance adds, for block b and the gap (lo, hi) between two of its
-// references (or before its first reference when it starts in cache), the
-// constraints sum f = sum e and sum e <= 1 over intervals inside the gap.
-func (m *Model) addGapBalance(b core.BlockID, lo, hi int) {
+// addGapBalance adds, for the block at position bi and the gap (lo, hi)
+// between two of its references (or before its first reference when it
+// starts in cache), the constraints sum f = sum e and sum e <= 1 over
+// intervals inside the gap.
+func (m *Model) addGapBalance(bi, lo, hi int) {
 	var balance []lp.Coef
 	var evict []lp.Coef
 	for _, idx := range m.gapIntervals(lo, hi) {
-		if v, ok := m.fVar[varKey{idx, b}]; ok {
+		if v := m.fetchVar(idx, bi); v != noVar {
 			balance = append(balance, lp.Coef{Var: v, Value: 1})
 		}
-		if v, ok := m.eVar[varKey{idx, b}]; ok {
+		if v := m.evictVar(idx, bi); v != noVar {
 			balance = append(balance, lp.Coef{Var: v, Value: -1})
 			evict = append(evict, lp.Coef{Var: v, Value: 1})
 		}
@@ -326,9 +342,23 @@ func (m *Model) addGapBalance(b core.BlockID, lo, hi int) {
 	}
 }
 
-// Solve solves the LP relaxation and returns the fractional solution.
+// Solve solves the LP relaxation and returns the fractional solution, using
+// a pooled solver.
 func (m *Model) Solve(opts lp.Options) (*Fractional, error) {
-	sol, err := lp.Solve(m.Problem, opts)
+	return m.SolveWith(nil, opts)
+}
+
+// SolveWith solves the LP relaxation with the given reusable Solver (nil
+// falls back to the package solver pool), so sweeps that solve many models
+// of similar size can reuse one set of tableau buffers.
+func (m *Model) SolveWith(s *lp.Solver, opts lp.Options) (*Fractional, error) {
+	var sol *lp.Solution
+	var err error
+	if s != nil {
+		sol, err = s.Solve(m.Problem, opts)
+	} else {
+		sol, err = lp.Solve(m.Problem, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -358,5 +388,16 @@ func (m *Model) Solve(opts lp.Options) (*Fractional, error) {
 // VariableCounts reports the number of interval, fetch and eviction variables
 // in the program (useful for reporting and testing).
 func (m *Model) VariableCounts() (x, f, e int) {
-	return len(m.xVar), len(m.fVar), len(m.eVar)
+	x = len(m.xVar)
+	for _, v := range m.fVar {
+		if v != noVar {
+			f++
+		}
+	}
+	for _, v := range m.eVar {
+		if v != noVar {
+			e++
+		}
+	}
+	return x, f, e
 }

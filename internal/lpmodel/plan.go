@@ -11,7 +11,9 @@ import (
 // the schedule and the fractional lower bound, so the caller can verify the
 // Theorem 4 guarantee (stall time equal to the lower bound and at most
 // 2(D-1) extra cache locations) or detect that the extraction lost ground on
-// a particular instance.
+// a particular instance.  The solve draws a pooled solver, so repeated Plan
+// calls reuse tableau buffers; callers holding their own lp.Solver can use
+// Build plus Model.SolveWith plus Extract directly.
 func Plan(in *core.Instance, opts lp.Options) (*PlanResult, error) {
 	m, err := Build(in)
 	if err != nil {

@@ -26,5 +26,5 @@
 // Kimbrel and Karlin's Reverse Aggressive algorithm (Aggressive run on the
 // reversed sequence) is not implemented; it is prior work that the paper
 // cites only for context, and its schedule-reversal construction is out of
-// scope for this reproduction.  DESIGN.md records this gap.
+// scope for this reproduction.  EXPERIMENTS.md records this gap.
 package parallel
