@@ -10,7 +10,11 @@
 //	pcbench -list           # list experiment identifiers
 //	pcbench -csv            # emit CSV instead of aligned text
 //	pcbench -json           # emit JSON (for BENCH_*.json trajectory tracking)
+//	pcbench -json -stable   # omit wall times, for byte-reproducible JSON
 //	pcbench -workers 1      # force sequential execution
+//	pcbench -solver flat    # solve the LPs with the flat-tableau simplex
+//	pcbench -cpuprofile f   # write a pprof CPU profile of the run to f
+//	pcbench -memprofile f   # write a pprof heap profile after the run to f
 package main
 
 import (
@@ -18,9 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pfcache/internal/experiments"
+	"pfcache/internal/lp"
 )
 
 // jsonResult is the JSON shape of one experiment result, stable for
@@ -31,63 +38,125 @@ type jsonResult struct {
 	Note    string     `json:"note,omitempty"`
 	Headers []string   `json:"headers"`
 	Rows    [][]string `json:"rows"`
-	Seconds float64    `json:"seconds"`
+	Seconds float64    `json:"seconds,omitempty"`
 }
 
-func main() {
+// jsonLPCounters mirrors lp.Counters with stable JSON names: how much
+// simplex work the whole run performed, recorded so trajectory files catch
+// algorithmic regressions (pivot counts) and not just wall-time noise.
+type jsonLPCounters struct {
+	Solves           uint64 `json:"solves"`
+	Iterations       uint64 `json:"iterations"`
+	PricingPasses    uint64 `json:"pricing_passes"`
+	Refactorizations uint64 `json:"refactorizations"`
+	EtaColumns       uint64 `json:"eta_columns"`
+}
+
+// jsonOutput is the top-level -json shape: per-experiment tables plus the
+// LP solver configuration and work counters of the run.
+type jsonOutput struct {
+	Solver  string         `json:"solver"`
+	Results []jsonResult   `json:"results"`
+	LP      jsonLPCounters `json:"lp"`
+}
+
+// main only converts run's exit code: all the work happens in run, whose
+// deferred profile/file cleanup must execute before os.Exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
-	run := flag.String("run", "", "comma-separated experiment identifiers to run (default: all)")
+	runFlag := flag.String("run", "", "comma-separated experiment identifiers to run (default: all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
-	jsonOut := flag.Bool("json", false, "emit results as a JSON array (includes per-experiment wall time)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON (includes per-experiment wall time and LP solver counters)")
+	stable := flag.Bool("stable", false, "omit wall times from -json output so repeated runs are byte-identical")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
+	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
+	method, err := lp.ParseMethod(*solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	experiments.SetSolverMethod(method)
 	experiments.SetWorkers(*workers)
 
 	selected := experiments.All()
-	if *run != "" {
+	if *runFlag != "" {
 		selected = nil
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runFlag, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	lp.StatsReset()
 	results, err := experiments.RunAll(selected)
 	// Print whatever completed even when some experiment failed, so one
 	// broken experiment does not hide the others' results (failed entries
 	// have a nil table and are skipped).
 	if *jsonOut {
-		out := make([]jsonResult, 0, len(results))
+		counters := lp.StatsSnapshot()
+		out := jsonOutput{
+			Solver: method.String(),
+			LP: jsonLPCounters{
+				Solves:           counters.Solves,
+				Iterations:       counters.Iterations,
+				PricingPasses:    counters.PricingPasses,
+				Refactorizations: counters.Refactorizations,
+				EtaColumns:       counters.EtaColumns,
+			},
+			Results: make([]jsonResult, 0, len(results)),
+		}
 		for _, r := range results {
 			if r.Table == nil {
 				continue
 			}
-			out = append(out, jsonResult{
+			jr := jsonResult{
 				ID:      r.Experiment.ID,
 				Title:   r.Experiment.Title,
 				Note:    r.Table.Note,
 				Headers: r.Table.Headers,
 				Rows:    r.Table.Rows,
-				Seconds: r.Elapsed.Seconds(),
-			})
+			}
+			if !*stable {
+				jr.Seconds = r.Elapsed.Seconds()
+			}
+			out.Results = append(out.Results, jr)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if encErr := enc.Encode(out); encErr != nil {
 			fmt.Fprintln(os.Stderr, encErr)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		for _, r := range results {
@@ -101,8 +170,23 @@ func main() {
 			}
 		}
 	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			return 1
+		}
+		runtime.GC()
+		perr := pprof.WriteHeapProfile(f)
+		f.Close()
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			return 1
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

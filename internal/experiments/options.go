@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"pfcache/internal/lp"
+)
+
+// solverMethod is the simplex implementation used by every LP-backed
+// experiment (E7, E8, A1 and the E2 intro example's lp-optimal row).
+var solverMethod atomic.Int64
+
+// SetSolverMethod selects the simplex implementation the experiments solve
+// their LPs with; the default is lp.MethodRevised.  Exposed to pcbench as the
+// -solver flag so perf comparisons between implementations run the identical
+// experiment code.
+func SetSolverMethod(m lp.Method) { solverMethod.Store(int64(m)) }
+
+// SolverMethod returns the configured simplex implementation.
+func SolverMethod() lp.Method { return lp.Method(solverMethod.Load()) }
+
+// lpOptions are the solver options every experiment passes to LP solves.
+func lpOptions() lp.Options { return lp.Options{Method: SolverMethod()} }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pfcache/internal/core"
-	"pfcache/internal/lp"
 	"pfcache/internal/lpmodel"
 	"pfcache/internal/opt"
 	"pfcache/internal/parallel"
@@ -38,7 +37,7 @@ func E2IntroParallelExample() (*report.Table, error) {
 	t := report.NewTable("E2: introduction example, two disks (k=4, F=4, n=7)",
 		"algorithm", "stall", "elapsed", "extra cache")
 	t.Note = "Paper: the described schedule has stall time 3."
-	for _, a := range parallel.Algorithms() {
+	for _, a := range parallel.AlgorithmsWith(lpOptions()) {
 		res, err := runParallel(in, a)
 		if err != nil {
 			return nil, err
@@ -78,7 +77,7 @@ func E7ParallelLPOptimal() (*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := parallel.LPOptimal(in)
+		res, err := parallel.LPOptimalWith(in, lpOptions())
 		if err != nil {
 			return err
 		}
@@ -120,7 +119,7 @@ func E8ParallelHeuristics() (*report.Table, error) {
 		"D", "lp-optimal", "aggressive", "conservative", "demand")
 	t.Note = "Expected: lp-optimal stays near 1; the others grow with D."
 	diskSet := []int{1, 2, 3, 4}
-	algos := parallel.Algorithms()
+	algos := parallel.AlgorithmsWith(lpOptions())
 	// The interleaved workload is deterministic for a given D (the old
 	// per-seed loop recomputed identical instances), so one point per D
 	// suffices.
@@ -129,7 +128,7 @@ func E8ParallelHeuristics() (*report.Table, error) {
 		disks := diskSet[i]
 		seq := workload.Interleaved(16, disks, 5)
 		in := workload.Instance(seq, 4, 3, disks, workload.AssignStripe, 0)
-		lb, err := lpmodel.LowerBound(in, lp.Options{})
+		lb, err := lpmodel.LowerBound(in, lpOptions())
 		if err != nil {
 			return err
 		}
@@ -190,7 +189,7 @@ func A1SynchronizationAblation() (*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		lb, err := lpmodel.LowerBound(in, lp.Options{})
+		lb, err := lpmodel.LowerBound(in, lpOptions())
 		if err != nil {
 			return err
 		}

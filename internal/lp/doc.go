@@ -4,8 +4,8 @@
 // The paper's parallel-disk algorithm needs "an optimal solution of the
 // relaxed linear program", which it treats as a black box.  Because this
 // repository uses only the Go standard library, the solver is implemented
-// here from scratch: a dense two-phase primal simplex method over problems of
-// the form
+// here from scratch: a two-phase primal simplex method over problems of the
+// form
 //
 //	minimize    c'x
 //	subject to  a_i'x {<=,=,>=} b_i     for every constraint i
@@ -19,13 +19,33 @@
 // automatic switch to Bland's rule when the objective stalls, which
 // guarantees termination on degenerate problems.
 //
-// The tableau is a single contiguous []float64 in row-major order with the
-// artificial columns as a trailing index range, and every working buffer
-// lives on a reusable Solver, so repeated solves — the experiment sweeps
-// solve hundreds of similar-sized programs — run without allocating in
-// steady state.  The package-level Solve draws Solvers from an internal
-// pool; Solution carries pivot, pricing-pass and allocation counters so
-// performance regressions are observable in benchmarks.
+// The production implementation (Options.Method == MethodRevised, the
+// default) is a revised simplex: the constraint matrix is kept in a
+// read-only compressed sparse column form built once per Problem, the basis
+// inverse is a product-form eta file (one eta column per pivot), and each
+// pivot performs a BTRAN solve for the duals, prices candidates as sparse
+// column dot products, FTRANs the entering column for the ratio test, and
+// updates the basic values in O(rows) — so pivot cost is proportional to the
+// nonzeros touched instead of the O(rows x cols) dense Gauss-Jordan update.
+// The eta file is rebuilt from scratch (refactorized) after RefactorEvery
+// pivots or when the basic values drift from B^-1 b beyond tolerance, which
+// bounds both its length and the accumulated round-off.  The paper's
+// synchronized-schedule LPs are about 1% dense, which makes the revised path
+// several times faster than the flat tableau at experiment sizes.
+//
+// The PR-1 flat-tableau implementation survives behind MethodFlat — one
+// contiguous row-major []float64 with the artificial columns as a trailing
+// index range — as the middle rung of the property-test lattice (revised vs
+// flat vs the retired dense reference) and as the automatic fallback should
+// a refactorization ever go numerically singular.
+//
+// Every working buffer of both implementations lives on a reusable Solver,
+// so repeated solves — the experiment sweeps solve hundreds of similar-sized
+// programs — run without allocating in steady state.  The package-level
+// Solve draws Solvers from an internal pool; Solution carries pivot,
+// pricing-pass, refactorization, eta-column and allocation counters, and
+// StatsSnapshot aggregates them process-wide, so performance regressions are
+// observable in benchmarks and in pcbench's JSON trajectory files.
 //
 // Numbers are float64 with explicit tolerances; the prefetching LPs are
 // small and well scaled, and the experiment harness cross-checks the LP

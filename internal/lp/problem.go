@@ -1,6 +1,9 @@
 package lp
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Sense is the direction of a linear constraint.
 type Sense int
@@ -48,8 +51,24 @@ type Problem struct {
 	numVars   int
 	objective []float64
 	cons      []Constraint
+	nnz       int // total nonzero coefficients across all constraints
 
-	mergeBuf map[int]float64 // scratch for AddConstraint coefficient merging
+	// AddConstraint merges duplicate variables with an epoch-stamped dense
+	// scratch: stamp[v] == epoch marks v as seen in the current call and
+	// slot[v] holds its position in the output, so merging is O(len(coeffs))
+	// with no map and no clearing between calls.
+	stamp []int
+	slot  []int32
+	epoch int
+
+	// The revised solver works from a compressed sparse column form of the
+	// constraint matrix.  It is built lazily on first solve and cached until
+	// the matrix changes (version counts matrix mutations); repeated solves
+	// of the same problem then share one read-only copy.
+	version    int
+	cscMu      sync.Mutex
+	cscCache   *cscMatrix
+	cscVersion int
 }
 
 // NewProblem creates a problem with the given number of non-negative
@@ -70,11 +89,16 @@ func (p *Problem) NumVars() int { return p.numVars }
 // NumConstraints returns the number of constraints.
 func (p *Problem) NumConstraints() int { return len(p.cons) }
 
+// NumNonzeros returns the total number of nonzero constraint coefficients,
+// the quantity the revised solver's per-pivot cost is proportional to.
+func (p *Problem) NumNonzeros() int { return p.nnz }
+
 // AddVariable appends a new variable with the given objective coefficient and
 // returns its index.
 func (p *Problem) AddVariable(objective float64) int {
 	p.objective = append(p.objective, objective)
 	p.numVars++
+	p.version++
 	return p.numVars - 1
 }
 
@@ -91,49 +115,51 @@ func (p *Problem) Objective(v int) float64 {
 }
 
 // AddConstraint adds the constraint sum_i coeffs_i {sense} rhs and returns
-// its index.  Coefficients referring to the same variable are summed.
+// its index.  Coefficients referring to the same variable are summed (into
+// the variable's first occurrence) and zero coefficients are dropped.
 func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
-	// The common case has no duplicate variables; detect that with a
-	// quadratic scan for short constraints (skipping the merge map entirely)
-	// and fall back to the map for long ones.
-	const scanLimit = 64
-	dup := len(coeffs) > scanLimit
-	for i, c := range coeffs {
+	for len(p.stamp) < p.numVars {
+		p.stamp = append(p.stamp, 0)
+		p.slot = append(p.slot, 0)
+	}
+	p.epoch++
+	out := make([]Coef, 0, len(coeffs))
+	for _, c := range coeffs {
 		p.checkVar(c.Var)
-		if dup {
+		if p.stamp[c.Var] == p.epoch {
+			out[p.slot[c.Var]].Value += c.Value
 			continue
 		}
-		for _, prev := range coeffs[:i] {
-			if prev.Var == c.Var {
-				dup = true
-				break
-			}
+		p.stamp[c.Var] = p.epoch
+		p.slot[c.Var] = int32(len(out))
+		out = append(out, c)
+	}
+	w := 0
+	for _, c := range out {
+		if c.Value != 0 {
+			out[w] = c
+			w++
 		}
 	}
-	out := make([]Coef, 0, len(coeffs))
-	if !dup {
-		for _, c := range coeffs {
-			if c.Value != 0 {
-				out = append(out, c)
-			}
-		}
-	} else {
-		if p.mergeBuf == nil {
-			p.mergeBuf = make(map[int]float64, len(coeffs))
-		}
-		merged := p.mergeBuf
-		clear(merged)
-		for _, c := range coeffs {
-			merged[c.Var] += c.Value
-		}
-		for v, val := range merged {
-			if val != 0 {
-				out = append(out, Coef{Var: v, Value: val})
-			}
-		}
-	}
+	out = out[:w]
 	p.cons = append(p.cons, Constraint{Coeffs: out, Sense: sense, RHS: rhs})
+	p.nnz += len(out)
+	p.version++
 	return len(p.cons) - 1
+}
+
+// csc returns the cached compressed sparse column form of the constraint
+// matrix, rebuilding it when constraints or variables were added since the
+// last build.  Safe for concurrent solves of a fixed problem; mutating a
+// problem concurrently with a solve is not supported (and never was).
+func (p *Problem) csc() *cscMatrix {
+	p.cscMu.Lock()
+	defer p.cscMu.Unlock()
+	if p.cscCache == nil || p.cscVersion != p.version {
+		p.cscCache = buildCSC(p)
+		p.cscVersion = p.version
+	}
+	return p.cscCache
 }
 
 // Constraint returns the i-th constraint.

@@ -1,11 +1,12 @@
 package lp_test
 
-// Property tests comparing the flat-tableau Solver against the pre-refactor
-// dense reference path and against the exhaustive search of package opt, on
-// both random LPs and the paper's synchronized-schedule models.  These live
-// in an external test package so they can import lpmodel/opt/workload (which
-// depend on lp) without an import cycle; the dense reference is reached
-// through lp.DenseSolve in export_test.go.
+// Property tests pinning the three solver implementations to each other on
+// random LPs and on the paper's synchronized-schedule models: the production
+// revised simplex (sparse CSC + product-form eta file), the PR-1 flat-tableau
+// path kept behind Options.Method, and the pre-refactor dense reference.
+// These live in an external test package so they can import
+// lpmodel/opt/workload (which depend on lp) without an import cycle; the
+// dense reference is reached through lp.DenseSolve in export_test.go.
 
 import (
 	"math"
@@ -54,134 +55,211 @@ func randomProblem(rng *rand.Rand) (*lp.Problem, []float64) {
 	return p, x0
 }
 
-// TestFlatMatchesDenseRandom solves random feasible problems with both the
-// flat Solver and the dense reference and requires matching statuses and
-// objective values (the optimal vertex may differ on degenerate optima, so X
-// is checked only for feasibility).
-func TestFlatMatchesDenseRandom(t *testing.T) {
+// solveAllThree runs the revised, flat and dense implementations on p and
+// requires matching statuses and (when optimal) objectives within 1e-6; the
+// optimal vertex may differ on degenerate optima, so X is checked only for
+// feasibility.  It returns the revised solution.
+func solveAllThree(t *testing.T, rev, flat *lp.Solver, p *lp.Problem, opts lp.Options) *lp.Solution {
+	t.Helper()
+	revOpts := opts
+	revOpts.Method = lp.MethodRevised
+	revised, err := rev.Solve(p, revOpts)
+	if err != nil {
+		t.Fatalf("revised: %v", err)
+	}
+	flatOpts := opts
+	flatOpts.Method = lp.MethodFlat
+	flatSol, err := flat.Solve(p, flatOpts)
+	if err != nil {
+		t.Fatalf("flat: %v", err)
+	}
+	dense, err := lp.DenseSolve(p, opts)
+	if err != nil {
+		t.Fatalf("dense: %v", err)
+	}
+	if revised.Status != flatSol.Status || revised.Status != dense.Status {
+		t.Fatalf("status revised=%v flat=%v dense=%v", revised.Status, flatSol.Status, dense.Status)
+	}
+	if revised.Status != lp.StatusOptimal {
+		return revised
+	}
+	if math.Abs(revised.Objective-flatSol.Objective) > 1e-6 {
+		t.Fatalf("objective revised=%g flat=%g", revised.Objective, flatSol.Objective)
+	}
+	if math.Abs(revised.Objective-dense.Objective) > 1e-6 {
+		t.Fatalf("objective revised=%g dense=%g", revised.Objective, dense.Objective)
+	}
+	for name, sol := range map[string]*lp.Solution{"revised": revised, "flat": flatSol} {
+		if viol, idx := p.Violation(sol.X); viol > 1e-6 {
+			t.Fatalf("%s solution violates constraint %d by %g", name, idx, viol)
+		}
+	}
+	return revised
+}
+
+// TestSolversMatchRandom solves random feasible problems with all three
+// implementations and requires matching statuses and objective values.
+func TestSolversMatchRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	solver := lp.NewSolver()
+	rev, flat := lp.NewSolver(), lp.NewSolver()
 	for trial := 0; trial < 200; trial++ {
 		p, _ := randomProblem(rng)
-		flat, err := solver.Solve(p, lp.Options{})
-		if err != nil {
-			t.Fatalf("trial %d: flat: %v", trial, err)
-		}
-		dense, err := lp.DenseSolve(p, lp.Options{})
-		if err != nil {
-			t.Fatalf("trial %d: dense: %v", trial, err)
-		}
-		if flat.Status != dense.Status {
-			t.Fatalf("trial %d: status flat=%v dense=%v", trial, flat.Status, dense.Status)
-		}
-		if flat.Status != lp.StatusOptimal {
-			continue
-		}
-		if math.Abs(flat.Objective-dense.Objective) > 1e-6 {
-			t.Fatalf("trial %d: objective flat=%g dense=%g", trial, flat.Objective, dense.Objective)
-		}
-		if viol, idx := p.Violation(flat.X); viol > 1e-6 {
-			t.Fatalf("trial %d: flat solution violates constraint %d by %g", trial, idx, viol)
-		}
+		solveAllThree(t, rev, flat, p, lp.Options{})
 	}
 }
 
-// TestFlatMatchesDenseInfeasible checks that both paths agree on an
+// TestSolversMatchRandomSmallRefactor reruns the random lattice with a tiny
+// refactorization interval so eta-file rebuilds happen mid-solve even on
+// small problems.
+func TestSolversMatchRandomSmallRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	rev, flat := lp.NewSolver(), lp.NewSolver()
+	for trial := 0; trial < 200; trial++ {
+		p, _ := randomProblem(rng)
+		solveAllThree(t, rev, flat, p, lp.Options{RefactorEvery: 2})
+	}
+}
+
+// TestSolversMatchInfeasible checks that all three paths agree on an
 // infeasible system.
-func TestFlatMatchesDenseInfeasible(t *testing.T) {
+func TestSolversMatchInfeasible(t *testing.T) {
 	p := lp.NewProblem(1)
 	p.SetObjective(0, 1)
 	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.LE, 1)
 	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.GE, 2)
-	flat, err := lp.Solve(p, lp.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dense, err := lp.DenseSolve(p, lp.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if flat.Status != lp.StatusInfeasible || dense.Status != lp.StatusInfeasible {
-		t.Fatalf("status flat=%v dense=%v, want infeasible", flat.Status, dense.Status)
+	sol := solveAllThree(t, lp.NewSolver(), lp.NewSolver(), p, lp.Options{})
+	if sol.Status != lp.StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
 	}
 }
 
-// TestFlatMatchesDenseUnbounded checks that both paths agree on an unbounded
-// objective.
-func TestFlatMatchesDenseUnbounded(t *testing.T) {
+// TestSolversMatchUnbounded checks that all three paths agree on an
+// unbounded objective.
+func TestSolversMatchUnbounded(t *testing.T) {
 	p := lp.NewProblem(1)
 	p.SetObjective(0, -1)
 	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.GE, 1)
-	flat, err := lp.Solve(p, lp.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dense, err := lp.DenseSolve(p, lp.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if flat.Status != lp.StatusUnbounded || dense.Status != lp.StatusUnbounded {
-		t.Fatalf("status flat=%v dense=%v, want unbounded", flat.Status, dense.Status)
+	sol := solveAllThree(t, lp.NewSolver(), lp.NewSolver(), p, lp.Options{})
+	if sol.Status != lp.StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
 	}
 }
 
-// TestFlatIterationLimit checks the iteration guard and its counters.
-func TestFlatIterationLimit(t *testing.T) {
+// TestSolversMatchDegenerate runs Beale's classic cycling example padded
+// with redundant rows (heavy degeneracy, exercising the Bland fallback) and
+// requires all three implementations to find the optimum.
+func TestSolversMatchDegenerate(t *testing.T) {
 	p := lp.NewProblem(3)
-	for v := 0; v < 3; v++ {
-		p.SetObjective(v, -1)
+	p.SetObjective(0, -0.75)
+	p.SetObjective(1, 150)
+	p.SetObjective(2, -0.02)
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 0.25}, {Var: 1, Value: -60}, {Var: 2, Value: -0.04}}, lp.LE, 0)
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 0.5}, {Var: 1, Value: -90}, {Var: 2, Value: -0.02}}, lp.LE, 0)
+	for i := 0; i < 6; i++ {
+		p.AddConstraint([]lp.Coef{{Var: 2, Value: 1}}, lp.LE, 1)
 	}
-	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}, {Var: 2, Value: 1}}, lp.LE, 10)
-	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 2}}, lp.LE, 8)
-	p.AddConstraint([]lp.Coef{{Var: 1, Value: 1}, {Var: 2, Value: 3}}, lp.LE, 9)
-	sol, err := lp.Solve(p, lp.Options{MaxIterations: 1})
-	if err != nil {
-		t.Fatal(err)
+	sol := solveAllThree(t, lp.NewSolver(), lp.NewSolver(), p, lp.Options{})
+	if sol.Status != lp.StatusOptimal || math.Abs(sol.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("status=%v objective=%g, want optimal -0.05", sol.Status, sol.Objective)
 	}
-	if sol.Status != lp.StatusIterLimit && sol.Status != lp.StatusOptimal {
-		t.Fatalf("status = %v", sol.Status)
-	}
-	if sol.Iterations > 1 {
-		t.Fatalf("iterations = %d, want <= 1", sol.Iterations)
+}
+
+// TestIterationLimitBothMethods checks the iteration guard and its counters
+// on both production paths.
+func TestIterationLimitBothMethods(t *testing.T) {
+	for _, method := range []lp.Method{lp.MethodRevised, lp.MethodFlat} {
+		p := lp.NewProblem(3)
+		for v := 0; v < 3; v++ {
+			p.SetObjective(v, -1)
+		}
+		p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}, {Var: 2, Value: 1}}, lp.LE, 10)
+		p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 2}}, lp.LE, 8)
+		p.AddConstraint([]lp.Coef{{Var: 1, Value: 1}, {Var: 2, Value: 3}}, lp.LE, 9)
+		sol, err := lp.Solve(p, lp.Options{MaxIterations: 1, Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != lp.StatusIterLimit && sol.Status != lp.StatusOptimal {
+			t.Fatalf("%v: status = %v", method, sol.Status)
+		}
+		if sol.Iterations > 1 {
+			t.Fatalf("%v: iterations = %d, want <= 1", method, sol.Iterations)
+		}
 	}
 }
 
 // TestSolverReuseIsAllocationFree asserts that a reused Solver stops
-// allocating tableau buffers after the first solve of a given size, which is
-// the property the experiment sweeps rely on.
+// allocating buffers after the first solve of a given size — for both
+// methods — which is the property the experiment sweeps rely on.
 func TestSolverReuseIsAllocationFree(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	solver := lp.NewSolver()
-	p, _ := randomProblem(rng)
-	first, err := solver.Solve(p, lp.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if first.TableauAllocs == 0 {
-		t.Fatalf("first solve reported zero tableau allocations")
-	}
-	again, err := solver.Solve(p, lp.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if again.TableauAllocs != 0 {
-		t.Fatalf("repeat solve allocated %d buffers, want 0", again.TableauAllocs)
-	}
-	if again.Status != first.Status || math.Abs(again.Objective-first.Objective) > 1e-9 {
-		t.Fatalf("repeat solve diverged: %+v vs %+v", again, first)
+	for _, method := range []lp.Method{lp.MethodRevised, lp.MethodFlat} {
+		rng := rand.New(rand.NewSource(7))
+		solver := lp.NewSolver()
+		p, _ := randomProblem(rng)
+		opts := lp.Options{Method: method}
+		first, err := solver.Solve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.TableauAllocs == 0 {
+			t.Fatalf("%v: first solve reported zero buffer allocations", method)
+		}
+		again, err := solver.Solve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.TableauAllocs != 0 {
+			t.Fatalf("%v: repeat solve allocated %d buffers, want 0", method, again.TableauAllocs)
+		}
+		if again.Status != first.Status || math.Abs(again.Objective-first.Objective) > 1e-9 {
+			t.Fatalf("%v: repeat solve diverged: %+v vs %+v", method, again, first)
+		}
 	}
 }
 
-// TestFlatMatchesDenseOnPaperModels builds the synchronized-schedule LP for
-// random small multi-disk instances and requires the flat Solver and the
-// dense reference to agree on the relaxation's optimal value; the value must
-// also be a valid lower bound on the exhaustive-search optimal stall, and
-// the extracted schedule's stall must never beat the exhaustive optimum
-// (which is allowed extra cache as in Lemma 3).
-func TestFlatMatchesDenseOnPaperModels(t *testing.T) {
+// TestRevisedRefactorizationLongSolve forces frequent basis reinversions on
+// the E7-sized paper model (a long solve with ~200 pivots) and checks that
+// the heavily-refactorized solve still matches the flat path exactly and
+// reports its refactorization work.
+func TestRevisedRefactorizationLongSolve(t *testing.T) {
+	p := buildE7SizedProblem(t)
+	rev, err := lp.Solve(p, lp.Options{Method: lp.MethodRevised, RefactorEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := lp.Solve(p, lp.Options{Method: lp.MethodFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Status != lp.StatusOptimal || flat.Status != lp.StatusOptimal {
+		t.Fatalf("status revised=%v flat=%v", rev.Status, flat.Status)
+	}
+	if math.Abs(rev.Objective-flat.Objective) > 1e-6 {
+		t.Fatalf("objective revised=%g flat=%g", rev.Objective, flat.Objective)
+	}
+	if rev.Refactorizations < 5 {
+		t.Fatalf("Refactorizations = %d, want >= 5 with RefactorEvery=8 over %d pivots",
+			rev.Refactorizations, rev.Iterations)
+	}
+	if rev.EtaColumns == 0 {
+		t.Fatal("EtaColumns = 0, want > 0")
+	}
+	if viol, idx := p.Violation(rev.X); viol > 1e-6 {
+		t.Fatalf("revised solution violates constraint %d by %g", idx, viol)
+	}
+}
+
+// TestSolversMatchOnPaperModels builds the synchronized-schedule LP for
+// random small multi-disk instances and requires all three implementations
+// to agree on the relaxation's optimal value; the value must also be a valid
+// lower bound on the exhaustive-search optimal stall, and the extracted
+// schedule's stall must never beat the exhaustive optimum (which is allowed
+// extra cache as in Lemma 3).
+func TestSolversMatchOnPaperModels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive search is slow in -short mode")
 	}
+	rev, flat := lp.NewSolver(), lp.NewSolver()
 	for trial := 0; trial < 6; trial++ {
 		disks := 1 + trial%3
 		seq := workload.Uniform(9, 5, int64(4000+trial))
@@ -190,34 +268,23 @@ func TestFlatMatchesDenseOnPaperModels(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: Build: %v", trial, err)
 		}
-		fracSolver := lp.NewSolver()
-		flat, err := lp.Solve(m.Problem, lp.Options{})
-		if err != nil {
-			t.Fatalf("trial %d: flat: %v", trial, err)
+		sol := solveAllThree(t, rev, flat, m.Problem, lp.Options{})
+		if sol.Status != lp.StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
 		}
-		frac, err := m.SolveWith(fracSolver, lp.Options{})
+		frac, err := m.SolveWith(rev, lp.Options{})
 		if err != nil {
 			t.Fatalf("trial %d: SolveWith: %v", trial, err)
 		}
-		if math.Abs(frac.Objective-flat.Objective) > 1e-9 {
-			t.Fatalf("trial %d: SolveWith objective %g differs from Solve %g", trial, frac.Objective, flat.Objective)
-		}
-		dense, err := lp.DenseSolve(m.Problem, lp.Options{})
-		if err != nil {
-			t.Fatalf("trial %d: dense: %v", trial, err)
-		}
-		if flat.Status != lp.StatusOptimal || dense.Status != lp.StatusOptimal {
-			t.Fatalf("trial %d: status flat=%v dense=%v", trial, flat.Status, dense.Status)
-		}
-		if math.Abs(flat.Objective-dense.Objective) > 1e-6 {
-			t.Fatalf("trial %d: LP objective flat=%g dense=%g", trial, flat.Objective, dense.Objective)
+		if math.Abs(frac.Objective-sol.Objective) > 1e-9 {
+			t.Fatalf("trial %d: SolveWith objective %g differs from Solve %g", trial, frac.Objective, sol.Objective)
 		}
 		optRes, err := opt.Optimal(in, opt.Options{})
 		if err != nil {
 			t.Fatalf("trial %d: opt: %v", trial, err)
 		}
-		if flat.Objective > float64(optRes.Stall)+1e-6 {
-			t.Fatalf("trial %d: LP bound %g exceeds optimal stall %d", trial, flat.Objective, optRes.Stall)
+		if sol.Objective > float64(optRes.Stall)+1e-6 {
+			t.Fatalf("trial %d: LP bound %g exceeds optimal stall %d", trial, sol.Objective, optRes.Stall)
 		}
 		res, err := lpmodel.Plan(in, lp.Options{})
 		if err != nil {
@@ -230,34 +297,50 @@ func TestFlatMatchesDenseOnPaperModels(t *testing.T) {
 }
 
 // buildE7SizedProblem constructs the synchronized-schedule LP at the E7
-// sweep's size, the model the flat solver was rebuilt for.
-func buildE7SizedProblem(b *testing.B) *lp.Problem {
-	b.Helper()
+// sweep's size, the model the solvers are tuned for.
+func buildE7SizedProblem(tb testing.TB) *lp.Problem {
+	tb.Helper()
 	seq := workload.Uniform(11, 6, 900)
 	in := workload.Instance(seq, 3, 2, 3, workload.AssignStripe, 0)
 	m, err := lpmodel.Build(in)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return m.Problem
 }
 
-// BenchmarkFlatSolveE7Size is the production flat-tableau path with a
-// reused Solver.
-func BenchmarkFlatSolveE7Size(b *testing.B) {
+// benchSolve measures repeated solves of the E7-sized problem with a reused
+// Solver, after one untimed warm-up solve so the steady-state (buffer-reuse)
+// cost is what gets reported even at -benchtime 1x.
+func benchSolve(b *testing.B, opts lp.Options) {
 	p := buildE7SizedProblem(b)
 	solver := lp.NewSolver()
+	if _, err := solver.Solve(p, opts); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(p, lp.Options{}); err != nil {
+		if _, err := solver.Solve(p, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+// BenchmarkRevisedSolveE7Size is the production revised-simplex path with a
+// reused Solver.
+func BenchmarkRevisedSolveE7Size(b *testing.B) {
+	benchSolve(b, lp.Options{Method: lp.MethodRevised})
+}
+
+// BenchmarkFlatSolveE7Size is the PR-1 flat-tableau path on the same
+// problem, kept so the revised/flat speedup stays measurable.
+func BenchmarkFlatSolveE7Size(b *testing.B) {
+	benchSolve(b, lp.Options{Method: lp.MethodFlat})
+}
+
 // BenchmarkDenseSolveE7Size is the pre-refactor dense [][]float64 reference
-// path on the same problem, kept so the speedup stays measurable.
+// path on the same problem.
 func BenchmarkDenseSolveE7Size(b *testing.B) {
 	p := buildE7SizedProblem(b)
 	b.ReportAllocs()

@@ -1,0 +1,599 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// errSingularBasis reports a refactorization that could not complete because
+// a basis column collapsed numerically; Solver.Solve catches it and reruns
+// the solve on the flat path.
+var errSingularBasis = errors.New("lp: singular basis during refactorization")
+
+// driftCheckEvery is how often (in pivots) the revised solver verifies
+// B·xB = b against the original matrix; drift beyond driftTol forces an
+// early refactorization.
+const driftCheckEvery = 48
+
+// driftTol is the absolute residual above which the eta file is considered
+// numerically stale.
+const driftTol = 1e-7
+
+// revisedSolver is the revised simplex: the constraint matrix is kept in the
+// read-only CSC form cached on the Problem (built once, see Problem.csc), the
+// basis inverse is a product-form eta file (one eta column per pivot,
+// refactorized from scratch when the file grows past RefactorEvery pivots or
+// when B·xB drifts from b), and every pivot is a BTRAN solve for the duals, a
+// price over the candidate list, an FTRAN solve of the entering column, and
+// an O(rows) update of the basic values — no dense tableau anywhere.
+type revisedSolver struct {
+	p   *Problem
+	tol float64
+	m   *cscMatrix // read-only structural columns + row senses + normalised b
+
+	rows, cols                int
+	numVars, numSlack, numArt int
+	artLo                     int // first artificial column; artificials are [artLo, cols)
+
+	// Slack and artificial columns are singletons and never materialised:
+	// slackRow/slackSign and artRow map column index offsets to their row.
+	slackRow  []int
+	slackSign []float64
+	artRow    []int
+
+	basis   []int  // basis[i] is the column basic in row i
+	inBasis []bool // per column
+	xB      []float64
+	costs   []float64 // cost vector of the current phase, per column
+	y       []float64 // dual scratch: BTRAN of the basic costs
+	alpha   []float64 // primal scratch: FTRAN of the entering column
+	work    []float64 // refactorization / drift-check scratch
+	rc      []float64 // reduced-cost scratch for full pricing passes
+	cand    []int
+	colBuf  []int // basis snapshot during refactorization
+
+	eta           etaFile
+	refactorEvery int
+	sinceRefactor int // pivot etas appended since the last refactorization
+	sincePivot    int // pivots since the last drift check
+
+	phase int
+
+	iterations  int
+	phase1Iters int
+	fullPasses  int
+	refactors   int
+	etaColumns  int
+	allocs      int
+}
+
+// solve runs the two-phase revised simplex.
+func (r *revisedSolver) solve(p *Problem, opts Options, tol float64) (*Solution, error) {
+	r.p = p
+	defer func() { r.p = nil; r.m = nil }() // do not retain the problem
+	r.tol = tol
+	r.iterations = 0
+	r.phase1Iters = 0
+	r.fullPasses = 0
+	r.refactors = 0
+	r.etaColumns = 0
+	r.allocs = 0
+	r.load(p)
+
+	r.refactorEvery = opts.RefactorEvery
+	if r.refactorEvery <= 0 {
+		// The eta file costs O(rows) per column to apply, the refactorization
+		// O(rows) FTRANs; capping the file around the row count balances the
+		// two while keeping FTRAN/BTRAN far below one dense tableau sweep.
+		r.refactorEvery = r.rows/2 + 32
+		if r.refactorEvery > 128 {
+			r.refactorEvery = 128
+		}
+	}
+
+	maxIter := maxIterations(opts, r.rows, r.cols)
+
+	// Phase one: minimise the sum of artificial variables.
+	if r.numArt > 0 {
+		r.setPhase(1)
+		status, err := r.optimize(maxIter)
+		if err != nil {
+			return nil, err
+		}
+		r.phase1Iters = r.iterations
+		if status == StatusIterLimit {
+			return r.solution(StatusIterLimit, p), nil
+		}
+		if r.objectiveValue() > tol*float64(1+r.rows) {
+			return r.solution(StatusInfeasible, p), nil
+		}
+		if err := r.driveOutArtificials(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase two: minimise the real objective.
+	r.setPhase(2)
+	status, err := r.optimize(maxIter)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusIterLimit, StatusUnbounded:
+		return r.solution(status, p), nil
+	}
+	return r.solution(StatusOptimal, p), nil
+}
+
+// load fetches the problem's CSC matrix and installs the initial slack/
+// artificial basis, which is the identity (so the eta file starts empty and
+// exact).
+func (r *revisedSolver) load(p *Problem) {
+	r.m = p.csc()
+	rows := r.m.rows
+	r.rows = rows
+	r.numVars = r.m.cols
+	r.numSlack = 0
+	r.numArt = 0
+	for _, sense := range r.m.sense {
+		switch sense {
+		case LE:
+			r.numSlack++
+		case GE:
+			r.numSlack++
+			r.numArt++
+		case EQ:
+			r.numArt++
+		}
+	}
+	r.cols = r.numVars + r.numSlack + r.numArt
+	r.artLo = r.numVars + r.numSlack
+
+	r.slackRow = grabInts(r.slackRow, r.numSlack, &r.allocs)
+	r.slackSign = grabFloats(r.slackSign, r.numSlack, &r.allocs)
+	r.artRow = grabInts(r.artRow, r.numArt, &r.allocs)
+	r.basis = grabInts(r.basis, rows, &r.allocs)
+	r.inBasis = grabBools(r.inBasis, r.cols, &r.allocs)
+	clear(r.inBasis)
+	r.xB = grabFloats(r.xB, rows, &r.allocs)
+	r.costs = grabFloats(r.costs, r.cols, &r.allocs)
+	r.y = grabFloats(r.y, rows, &r.allocs)
+	r.alpha = grabFloats(r.alpha, rows, &r.allocs)
+	clear(r.alpha)
+	r.work = grabFloats(r.work, rows, &r.allocs)
+	r.rc = grabFloats(r.rc, r.cols, &r.allocs)
+	if r.cand == nil {
+		r.allocs++
+		r.cand = make([]int, 0, candListSize)
+	}
+	r.cand = r.cand[:0]
+	r.colBuf = grabInts(r.colBuf, rows, &r.allocs)
+	r.eta.reset()
+	r.sinceRefactor = 0
+	r.sincePivot = 0
+
+	slackIdx, artIdx := 0, 0
+	for i := 0; i < rows; i++ {
+		r.xB[i] = r.m.b[i]
+		switch r.m.sense[i] {
+		case LE:
+			r.slackRow[slackIdx] = i
+			r.slackSign[slackIdx] = 1
+			r.setBasic(i, r.numVars+slackIdx)
+			slackIdx++
+		case GE:
+			r.slackRow[slackIdx] = i
+			r.slackSign[slackIdx] = -1
+			slackIdx++
+			r.artRow[artIdx] = i
+			r.setBasic(i, r.artLo+artIdx)
+			artIdx++
+		case EQ:
+			r.artRow[artIdx] = i
+			r.setBasic(i, r.artLo+artIdx)
+			artIdx++
+		}
+	}
+}
+
+func (r *revisedSolver) setBasic(row, col int) {
+	r.basis[row] = col
+	r.inBasis[col] = true
+}
+
+// colDot returns v · A_j for any column.
+func (r *revisedSolver) colDot(v []float64, j int) float64 {
+	switch {
+	case j < r.numVars:
+		return r.m.colDot(v, j)
+	case j < r.artLo:
+		return r.slackSign[j-r.numVars] * v[r.slackRow[j-r.numVars]]
+	default:
+		return v[r.artRow[j-r.artLo]]
+	}
+}
+
+// scatterCol adds A_j into the dense vector out.
+func (r *revisedSolver) scatterCol(j int, out []float64) {
+	switch {
+	case j < r.numVars:
+		r.m.scatterCol(j, out)
+	case j < r.artLo:
+		out[r.slackRow[j-r.numVars]] += r.slackSign[j-r.numVars]
+	default:
+		out[r.artRow[j-r.artLo]] += 1
+	}
+}
+
+// setPhase installs the cost vector of the given phase (see flatSolver).
+func (r *revisedSolver) setPhase(phase int) {
+	r.phase = phase
+	clear(r.costs)
+	if phase == 1 {
+		for j := r.artLo; j < r.cols; j++ {
+			r.costs[j] = 1
+		}
+		return
+	}
+	for v := 0; v < r.numVars; v++ {
+		r.costs[v] = r.p.Objective(v)
+	}
+}
+
+// objectiveValue evaluates the current phase's cost vector at the current
+// basic solution.
+func (r *revisedSolver) objectiveValue() float64 {
+	total := 0.0
+	for i := 0; i < r.rows; i++ {
+		if cb := r.costs[r.basis[i]]; cb != 0 {
+			total += cb * r.xB[i]
+		}
+	}
+	return total
+}
+
+func (r *revisedSolver) priceLimit() int {
+	if r.phase == 1 {
+		return r.cols
+	}
+	return r.artLo
+}
+
+// computeDuals fills r.y with the simplex multipliers of the current basis:
+// y = (B^-T) c_B, one BTRAN per pivot.
+func (r *revisedSolver) computeDuals() {
+	for i := 0; i < r.rows; i++ {
+		r.y[i] = r.costs[r.basis[i]]
+	}
+	r.eta.btran(r.y)
+}
+
+// reducedCost prices one column against the duals in r.y.
+func (r *revisedSolver) reducedCost(j int) float64 {
+	return r.costs[j] - r.colDot(r.y, j)
+}
+
+// fullPrice computes the reduced cost of every eligible column into r.rc
+// from the current duals.  Basic columns are pinned to zero so round-off
+// never re-selects them.  Cost: one CSC sweep, O(nonzeros + cols).
+func (r *revisedSolver) fullPrice() {
+	r.fullPasses++
+	limit := r.priceLimit()
+	for j := 0; j < limit; j++ {
+		if r.inBasis[j] {
+			r.rc[j] = 0
+			continue
+		}
+		r.rc[j] = r.costs[j] - r.colDot(r.y, j)
+	}
+}
+
+// rebuildCandidates refreshes the candidate list from a full pricing pass
+// and returns the most attractive eligible column, or -1 at optimality.
+func (r *revisedSolver) rebuildCandidates() int {
+	r.fullPrice()
+	best, cand := selectCandidates(r.rc, r.priceLimit(), r.tol, r.cand)
+	r.cand = cand
+	return best
+}
+
+// priceDantzig prices the surviving candidate list against the current duals
+// and falls back to a full pricing sweep only when the list runs dry.
+func (r *revisedSolver) priceDantzig() int {
+	best, bestRC := -1, -r.tol
+	w := 0
+	for _, j := range r.cand {
+		if r.inBasis[j] {
+			continue
+		}
+		rcj := r.reducedCost(j)
+		if rcj < -r.tol {
+			r.cand[w] = j
+			w++
+			if rcj < bestRC {
+				bestRC, best = rcj, j
+			}
+		}
+	}
+	r.cand = r.cand[:w]
+	if best >= 0 {
+		return best
+	}
+	return r.rebuildCandidates()
+}
+
+// priceBland returns the smallest-index eligible column with negative
+// reduced cost (Bland's anti-cycling rule), or -1 at optimality.
+func (r *revisedSolver) priceBland() int {
+	r.fullPrice()
+	limit := r.priceLimit()
+	for j := 0; j < limit; j++ {
+		if r.rc[j] < -r.tol {
+			return j
+		}
+	}
+	return -1
+}
+
+// optimize runs revised simplex pivots for the current phase until
+// optimality, unboundedness or the iteration limit, with the same pricing
+// policy as the flat path (Dantzig over a candidate list, Bland after a run
+// of degenerate pivots).
+func (r *revisedSolver) optimize(maxIter int) (Status, error) {
+	degenerate := 0
+	lastObj := r.objectiveValue()
+	r.cand = r.cand[:0]
+	for {
+		if r.iterations >= maxIter {
+			return StatusIterLimit, nil
+		}
+		r.computeDuals()
+		var enter int
+		if degenerate >= degenerateSwitch {
+			enter = r.priceBland()
+		} else {
+			enter = r.priceDantzig()
+		}
+		if enter < 0 {
+			return StatusOptimal, nil
+		}
+		r.ftranColumn(enter)
+		leave := r.ratioTest()
+		if leave < 0 {
+			return StatusUnbounded, nil
+		}
+		if err := r.pivot(leave, enter); err != nil {
+			return 0, err
+		}
+		r.iterations++
+		obj := r.objectiveValue()
+		if obj >= lastObj-r.tol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		lastObj = obj
+	}
+}
+
+// ftranColumn fills r.alpha with B^-1 A_enter.  r.alpha is kept zeroed
+// between calls.
+func (r *revisedSolver) ftranColumn(enter int) {
+	clear(r.alpha)
+	r.scatterCol(enter, r.alpha)
+	r.eta.ftran(r.alpha)
+}
+
+// ratioTest picks the leaving row for the FTRAN'd entering column in
+// r.alpha, breaking ties towards the smallest basis index (the same
+// lexicographic anti-cycling bias as the flat path).
+func (r *revisedSolver) ratioTest() int {
+	leave := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < r.rows; i++ {
+		aij := r.alpha[i]
+		if aij <= r.tol {
+			continue
+		}
+		ratio := r.xB[i] / aij
+		if ratio < bestRatio-r.tol ||
+			(math.Abs(ratio-bestRatio) <= r.tol && (leave < 0 || r.basis[i] < r.basis[leave])) {
+			bestRatio = ratio
+			leave = i
+		}
+	}
+	return leave
+}
+
+// pivot applies the basis change for the entering column whose FTRAN is in
+// r.alpha: update the basic values, append an eta column, and refactorize
+// when the file is long or the basic values have drifted.
+func (r *revisedSolver) pivot(leave, enter int) error {
+	theta := r.xB[leave] / r.alpha[leave]
+	for i := 0; i < r.rows; i++ {
+		if a := r.alpha[i]; a != 0 && i != leave {
+			r.xB[i] -= theta * a
+		}
+	}
+	r.xB[leave] = theta
+	r.eta.push(r.alpha, leave, &r.allocs)
+	r.etaColumns++
+	r.inBasis[r.basis[leave]] = false
+	r.setBasic(leave, enter)
+
+	r.sincePivot++
+	r.sinceRefactor++
+	if r.sinceRefactor >= r.refactorEvery {
+		return r.refactorize()
+	}
+	if r.sincePivot >= driftCheckEvery && r.residual() > driftTol {
+		return r.refactorize()
+	}
+	return nil
+}
+
+// residual returns max_i |(B xB - b)_i|, the drift of the updated basic
+// values from the original system.  Cost: one sweep over the basic columns'
+// nonzeros.
+func (r *revisedSolver) residual() float64 {
+	r.sincePivot = 0
+	for i := 0; i < r.rows; i++ {
+		r.work[i] = -r.m.b[i]
+	}
+	for i := 0; i < r.rows; i++ {
+		j := r.basis[i]
+		v := r.xB[i]
+		if v == 0 {
+			continue
+		}
+		switch {
+		case j < r.numVars:
+			for s := r.m.colPtr[j]; s < r.m.colPtr[j+1]; s++ {
+				r.work[r.m.rowIdx[s]] += r.m.val[s] * v
+			}
+		case j < r.artLo:
+			r.work[r.slackRow[j-r.numVars]] += r.slackSign[j-r.numVars] * v
+		default:
+			r.work[r.artRow[j-r.artLo]] += v
+		}
+	}
+	worst := 0.0
+	for _, v := range r.work {
+		worst = math.Max(worst, math.Abs(v))
+	}
+	return worst
+}
+
+// refactorize rebuilds the eta file from scratch for the current basis
+// (product-form reinversion): each basic column is FTRAN'd through the
+// partial file and pivots on its largest remaining entry.  Singleton slack
+// and artificial columns are processed first so they contribute unit etas
+// and the structural columns fill against as short a file as possible.  The
+// basic values are then recomputed as B^-1 b, clearing accumulated drift.
+// Rows may be reassigned to different basic variables by the pivot-row
+// choice, which is harmless: basis[i] names the variable whose value lives
+// in row i.
+func (r *revisedSolver) refactorize() error {
+	r.refactors++
+	r.eta.reset()
+	cols := r.colBuf[:r.rows]
+	copy(cols, r.basis)
+	// assigned marks pivot rows already consumed; reuse r.work as the FTRAN
+	// scratch and r.y (free between pivots) is NOT usable here because the
+	// caller needs it, so mark assignment through basis itself: basis[i] = -1
+	// until row i is reassigned.
+	for i := range r.basis {
+		r.basis[i] = -1
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, j := range cols {
+			if (pass == 0) != (j >= r.numVars) {
+				continue // singletons first, structural columns second
+			}
+			clear(r.work)
+			r.scatterCol(j, r.work)
+			r.eta.ftran(r.work)
+			pivotRow, pivotAbs := -1, 0.0
+			for i, v := range r.work {
+				if r.basis[i] != -1 {
+					continue
+				}
+				if a := math.Abs(v); a > pivotAbs {
+					pivotAbs, pivotRow = a, i
+				}
+			}
+			if pivotRow < 0 || pivotAbs <= etaDrop {
+				return errSingularBasis
+			}
+			r.eta.push(r.work, pivotRow, &r.allocs)
+			r.etaColumns++
+			r.basis[pivotRow] = j
+		}
+	}
+	copy(r.xB, r.m.b)
+	r.eta.ftran(r.xB)
+	r.sinceRefactor = 0
+	r.sincePivot = 0
+	return nil
+}
+
+// driveOutArtificials removes artificial variables from the basis after
+// phase one, pivoting on any structural column with a nonzero entry in the
+// artificial's row of B^-1 A, or neutralising the row when it has become
+// redundant.  The row is read through one BTRAN of the unit vector plus a
+// price over the structural columns.
+func (r *revisedSolver) driveOutArtificials() error {
+	for i := 0; i < r.rows; i++ {
+		if r.basis[i] < r.artLo {
+			continue
+		}
+		clear(r.work)
+		r.work[i] = 1
+		r.eta.btran(r.work)
+		pivoted := false
+		for j := 0; j < r.artLo; j++ {
+			if r.inBasis[j] || math.Abs(r.colDot(r.work, j)) <= r.tol {
+				continue
+			}
+			r.ftranColumn(j)
+			if math.Abs(r.alpha[i]) <= r.tol {
+				// The priced entry and the exact FTRAN disagree: this entry
+				// is at the edge of tolerance; keep looking for a solid one.
+				continue
+			}
+			refactorsBefore := r.refactors
+			if err := r.pivot(i, j); err != nil {
+				return err
+			}
+			pivoted = true
+			if r.refactors != refactorsBefore {
+				// The pivot triggered a refactorization, which may reassign
+				// rows to different basic variables; restart the scan so no
+				// relocated artificial is missed.  Each pivot removes one
+				// artificial from the basis, so this terminates.
+				i = -1
+			}
+			break
+		}
+		if !pivoted {
+			// Redundant row (all structural entries at tolerance): keep the
+			// artificial basic at value zero and clear round-off.
+			r.xB[i] = 0
+		}
+	}
+	return nil
+}
+
+// extract reads the current basic solution restricted to problem variables.
+func (r *revisedSolver) extract() []float64 {
+	x := make([]float64, r.numVars)
+	for i := 0; i < r.rows; i++ {
+		b := r.basis[i]
+		if b < r.numVars {
+			v := r.xB[i]
+			if v < 0 && v > -r.tol {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}
+
+// solution assembles the Solution for the given terminal status.
+func (r *revisedSolver) solution(status Status, p *Problem) *Solution {
+	sol := &Solution{
+		Status:           status,
+		Iterations:       r.iterations,
+		Phase1Iterations: r.phase1Iters,
+		PricingPasses:    r.fullPasses,
+		TableauAllocs:    r.allocs,
+		Refactorizations: r.refactors,
+		EtaColumns:       r.etaColumns,
+	}
+	if status == StatusOptimal {
+		sol.X = r.extract()
+		sol.Objective = p.Value(sol.X)
+	}
+	return sol
+}

@@ -37,6 +37,46 @@ func (s Status) String() string {
 	}
 }
 
+// Method selects the simplex implementation.
+type Method int
+
+// Solve methods.
+const (
+	// MethodRevised (the default) is the revised simplex: the constraint
+	// matrix stays in a read-only sparse column form, the basis inverse is a
+	// product-form eta file with periodic refactorization, and every pivot
+	// costs time proportional to the nonzeros it touches.
+	MethodRevised Method = iota
+	// MethodFlat is the PR-1 flat-tableau path with dense O(rows x cols)
+	// Gauss-Jordan pivots, kept as a reference and numerical fallback.
+	MethodFlat
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodRevised:
+		return "revised"
+	case MethodFlat:
+		return "flat"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ParseMethod resolves a method name ("revised" or "flat") as used by command
+// line flags.
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "revised":
+		return MethodRevised, nil
+	case "flat":
+		return MethodFlat, nil
+	default:
+		return 0, fmt.Errorf("lp: unknown solve method %q (want revised or flat)", name)
+	}
+}
+
 // Options tunes the solver.
 type Options struct {
 	// MaxIterations caps the total number of simplex pivots (0 means an
@@ -44,6 +84,14 @@ type Options struct {
 	MaxIterations int
 	// Tolerance is the feasibility/optimality tolerance (0 means 1e-9).
 	Tolerance float64
+	// Method selects the simplex implementation; the zero value is
+	// MethodRevised.
+	Method Method
+	// RefactorEvery bounds the eta-file growth of the revised method: after
+	// this many pivots since the last refactorization the basis inverse is
+	// rebuilt from scratch (0 means an automatic threshold based on the row
+	// count).  Ignored by MethodFlat.
+	RefactorEvery int
 }
 
 // Solution is the result of a solve.
@@ -68,11 +116,27 @@ type Solution struct {
 	// TableauAllocs is the number of backing-buffer allocations this solve
 	// performed; 0 means the Solver reused buffers from an earlier solve.
 	TableauAllocs int
+	// Refactorizations is the number of times the revised method rebuilt the
+	// basis inverse from scratch (always 0 for MethodFlat).
+	Refactorizations int
+	// EtaColumns is the total number of eta columns appended to the basis
+	// inverse by the revised method, including those written during
+	// refactorizations (always 0 for MethodFlat).
+	EtaColumns int
 }
 
 const defaultTolerance = 1e-9
 
-// solverPool recycles Solvers (and so their tableau buffers) across
+// candListSize bounds the candidate list kept by partial pricing: a full
+// pricing pass remembers up to this many attractive columns, and subsequent
+// pivots price only those until the list runs dry.
+const candListSize = 24
+
+// degenerateSwitch is the number of consecutive non-improving pivots after
+// which pricing falls back to Bland's rule to guarantee termination.
+const degenerateSwitch = 50
+
+// solverPool recycles Solvers (and so their working buffers) across
 // package-level Solve calls, which is what makes repeated solves in the
 // experiment sweeps allocation-free in steady state.
 var solverPool = sync.Pool{New: func() interface{} { return NewSolver() }}
@@ -87,114 +151,85 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	return sol, err
 }
 
-// Solver is a reusable two-phase primal simplex solver.  The tableau is one
-// contiguous float64 slice in row-major order (row stride cols+1, the last
-// column holding the right-hand side); columns are the problem variables,
-// then slack/surplus variables, then artificial variables, so artificial
-// membership is the index range [artLo, cols).  All working buffers are kept
-// between solves, so a Solver that has seen a problem of a given size solves
-// subsequent problems of similar size without allocating.
+// Solver is a reusable two-phase primal simplex solver holding the working
+// state of both implementations (revised and flat), so a Solver that has seen
+// a problem of a given size solves subsequent problems of similar size
+// without allocating.
 //
 // A Solver is not safe for concurrent use; use one per goroutine (the
 // package-level Solve does this via an internal pool).
 type Solver struct {
-	p   *Problem // problem being solved (valid during Solve only)
-	tol float64
-
-	rows   int // number of constraints
-	cols   int // structural columns (vars + slacks + artificials)
-	stride int // cols + 1; the extra column is the RHS
-
-	numVars  int
-	numSlack int
-	numArt   int
-	artLo    int // first artificial column; artificials are [artLo, cols)
-
-	a     []float64 // rows*stride backing array
-	basis []int     // basis[i] is the column basic in row i
-	costs []float64 // cost vector of the current phase
-	rc    []float64 // reduced-cost scratch for full pricing passes
-	cand  []int     // candidate columns from the last full pricing pass
-	plans []Sense   // per-row effective sense after RHS sign normalisation
-
-	phase int // 1 or 2; artificial columns may enter only in phase 1
-
-	iterations  int
-	phase1Iters int
-	fullPasses  int
-	allocs      int
+	rev  revisedSolver
+	flat flatSolver
 }
 
 // NewSolver returns an empty Solver; buffers are allocated lazily on first
 // use and reused afterwards.
 func NewSolver() *Solver { return &Solver{} }
 
-// candListSize bounds the candidate list kept by partial pricing: a full
-// pricing pass remembers up to this many attractive columns, and subsequent
-// pivots price only those until the list runs dry.
-const candListSize = 24
-
-// Solve solves the problem, reusing the solver's buffers.
+// Solve solves the problem with the implementation selected by opts.Method,
+// reusing the solver's buffers.  A revised solve that hits a numerically
+// singular refactorization (which a correct basis never produces exactly,
+// only catastrophic round-off does) transparently falls back to the flat
+// path.
 func (s *Solver) Solve(p *Problem, opts Options) (*Solution, error) {
 	tol := opts.Tolerance
 	if tol <= 0 {
 		tol = defaultTolerance
 	}
-	s.p = p
-	defer func() { s.p = nil }() // do not retain the problem after the solve
-	s.tol = tol
-	s.iterations = 0
-	s.phase1Iters = 0
-	s.fullPasses = 0
-	s.allocs = 0
-	s.load(p)
+	var sol *Solution
+	var err error
+	switch opts.Method {
+	case MethodRevised:
+		sol, err = s.rev.solve(p, opts, tol)
+		if err == errSingularBasis {
+			sol, err = s.flat.solve(p, opts, tol)
+		}
+	case MethodFlat:
+		sol, err = s.flat.solve(p, opts, tol)
+	default:
+		return nil, fmt.Errorf("lp: unknown solve method %d", int(opts.Method))
+	}
+	if err == nil {
+		recordSolve(sol)
+	}
+	return sol, err
+}
 
+// maxIterations resolves the pivot budget for a problem of the given size.
+func maxIterations(opts Options, rows, cols int) int {
 	maxIter := opts.MaxIterations
 	if maxIter <= 0 {
-		maxIter = 200 * (s.cols + s.rows)
+		maxIter = 200 * (cols + rows)
 		if maxIter < 20000 {
 			maxIter = 20000
 		}
 	}
-
-	// Phase one: minimise the sum of artificial variables.
-	if s.numArt > 0 {
-		s.setPhase(1)
-		status := s.optimize(maxIter)
-		s.phase1Iters = s.iterations
-		if status == StatusIterLimit {
-			return s.solution(StatusIterLimit, p), nil
-		}
-		if s.objectiveValue() > tol*float64(1+s.rows) {
-			return s.solution(StatusInfeasible, p), nil
-		}
-		s.driveOutArtificials()
-	}
-
-	// Phase two: minimise the real objective.
-	s.setPhase(2)
-	status := s.optimize(maxIter)
-	switch status {
-	case StatusIterLimit, StatusUnbounded:
-		return s.solution(status, p), nil
-	}
-	return s.solution(StatusOptimal, p), nil
+	return maxIter
 }
 
 // grabFloats returns buf resized to n, reallocating only when capacity is
 // short; fresh content is NOT zeroed.
-func (s *Solver) grabFloats(buf []float64, n int) []float64 {
+func grabFloats(buf []float64, n int, allocs *int) []float64 {
 	if cap(buf) < n {
-		s.allocs++
+		*allocs++
 		return make([]float64, n)
 	}
 	return buf[:n]
 }
 
-func (s *Solver) grabInts(buf []int, n int) []int {
+func grabInts(buf []int, n int, allocs *int) []int {
 	if cap(buf) < n {
-		s.allocs++
+		*allocs++
 		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func grabBools(buf []bool, n int, allocs *int) []bool {
+	if cap(buf) < n {
+		*allocs++
+		return make([]bool, n)
 	}
 	return buf[:n]
 }
@@ -213,173 +248,27 @@ func effectiveSense(c Constraint) Sense {
 	return c.Sense
 }
 
-// load builds the flat tableau from the problem's sparse constraints.
-func (s *Solver) load(p *Problem) {
-	rows := p.NumConstraints()
-	s.rows = rows
-	s.numVars = p.NumVars()
-	s.numSlack = 0
-	s.numArt = 0
-	if cap(s.plans) < rows {
-		s.allocs++
-		s.plans = make([]Sense, rows)
-	}
-	s.plans = s.plans[:rows]
-	for i := 0; i < rows; i++ {
-		sense := effectiveSense(p.Constraint(i))
-		s.plans[i] = sense
-		switch sense {
-		case LE:
-			s.numSlack++
-		case GE:
-			s.numSlack++
-			s.numArt++
-		case EQ:
-			s.numArt++
-		}
-	}
-	s.cols = s.numVars + s.numSlack + s.numArt
-	s.stride = s.cols + 1
-	s.artLo = s.numVars + s.numSlack
-
-	s.a = s.grabFloats(s.a, rows*s.stride)
-	clear(s.a)
-	s.basis = s.grabInts(s.basis, rows)
-	s.costs = s.grabFloats(s.costs, s.cols)
-	s.rc = s.grabFloats(s.rc, s.cols)
-	if s.cand == nil {
-		s.allocs++
-		s.cand = make([]int, 0, candListSize)
-	}
-	s.cand = s.cand[:0]
-
-	slackIdx := s.numVars
-	artIdx := s.artLo
-	for i := 0; i < rows; i++ {
-		c := p.Constraint(i)
-		sense := s.plans[i]
-		sign := 1.0
-		if c.RHS < 0 {
-			sign = -1.0
-		}
-		row := s.a[i*s.stride : i*s.stride+s.stride]
-		for _, co := range c.Coeffs {
-			row[co.Var] += sign * co.Value
-		}
-		row[s.cols] = sign * c.RHS
-		switch sense {
-		case LE:
-			row[slackIdx] = 1
-			s.basis[i] = slackIdx
-			slackIdx++
-		case GE:
-			row[slackIdx] = -1
-			slackIdx++
-			row[artIdx] = 1
-			s.basis[i] = artIdx
-			artIdx++
-		case EQ:
-			row[artIdx] = 1
-			s.basis[i] = artIdx
-			artIdx++
-		}
-	}
-}
-
-// setPhase installs the cost vector of the given phase: phase one charges 1
-// per artificial variable, phase two charges the problem objective on the
-// structural variables (artificial columns are excluded from pricing
-// entirely in phase two, so their cost is irrelevant).
-func (s *Solver) setPhase(phase int) {
-	s.phase = phase
-	clear(s.costs)
-	if phase == 1 {
-		for j := s.artLo; j < s.cols; j++ {
-			s.costs[j] = 1
-		}
-		return
-	}
-	for v := 0; v < s.numVars; v++ {
-		s.costs[v] = s.p.Objective(v)
-	}
-}
-
-// objectiveValue evaluates the current phase's cost vector at the current
-// basic solution.
-func (s *Solver) objectiveValue() float64 {
-	total := 0.0
-	for i := 0; i < s.rows; i++ {
-		cb := s.costs[s.basis[i]]
-		if cb != 0 {
-			total += cb * s.a[i*s.stride+s.cols]
-		}
-	}
-	return total
-}
-
-// priceLimit is the exclusive upper bound of columns eligible to enter the
-// basis: artificial columns may enter only during phase one.
-func (s *Solver) priceLimit() int {
-	if s.phase == 1 {
-		return s.cols
-	}
-	return s.artLo
-}
-
-// reducedCost computes the reduced cost of a single column against the
-// current basis.
-func (s *Solver) reducedCost(j int) float64 {
-	r := s.costs[j]
-	for i := 0; i < s.rows; i++ {
-		cb := s.costs[s.basis[i]]
-		if cb != 0 {
-			r -= cb * s.a[i*s.stride+j]
-		}
-	}
-	return r
-}
-
-// fullPrice runs one cache-friendly row-wise sweep computing the reduced
-// cost of every column into s.rc.
-func (s *Solver) fullPrice() {
-	s.fullPasses++
-	rc := s.rc
-	copy(rc, s.costs)
-	for i := 0; i < s.rows; i++ {
-		cb := s.costs[s.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := s.a[i*s.stride : i*s.stride+s.cols]
-		for j, v := range row {
-			if v != 0 {
-				rc[j] -= cb * v
-			}
-		}
-	}
-}
-
-// rebuildCandidates refreshes the candidate list from a full pricing pass
-// and returns the most attractive eligible column, or -1 at optimality.
-func (s *Solver) rebuildCandidates() int {
-	s.fullPrice()
-	limit := s.priceLimit()
-	s.cand = s.cand[:0]
-	best, bestRC := -1, -s.tol
+// selectCandidates refreshes cand with the (up to candListSize) most negative
+// entries of rc[:limit] below -tol and returns the most attractive column
+// together with the updated list, or -1 at optimality.  Shared by the full
+// pricing passes of both simplex implementations.
+func selectCandidates(rc []float64, limit int, tol float64, cand []int) (int, []int) {
+	cand = cand[:0]
+	best, bestRC := -1, -tol
 	// Keep the candListSize most negative reduced costs.  worst tracks the
 	// largest (least attractive) reduced cost currently in the list so most
 	// columns are rejected with a single comparison.
 	worst := math.Inf(-1)
 	for j := 0; j < limit; j++ {
-		r := s.rc[j]
-		if r >= -s.tol {
+		r := rc[j]
+		if r >= -tol {
 			continue
 		}
 		if r < bestRC {
 			bestRC, best = r, j
 		}
-		if len(s.cand) < candListSize {
-			s.cand = append(s.cand, j)
+		if len(cand) < candListSize {
+			cand = append(cand, j)
 			if r > worst {
 				worst = r
 			}
@@ -391,8 +280,8 @@ func (s *Solver) rebuildCandidates() int {
 		// Replace the current worst candidate; the list's new maximum is
 		// the larger of its old runner-up and the newcomer.
 		wi, wr, runnerUp := 0, math.Inf(-1), math.Inf(-1)
-		for k, cj := range s.cand {
-			v := s.rc[cj]
+		for k, cj := range cand {
+			v := rc[cj]
 			if v > wr {
 				runnerUp = wr
 				wr, wi = v, k
@@ -400,191 +289,11 @@ func (s *Solver) rebuildCandidates() int {
 				runnerUp = v
 			}
 		}
-		s.cand[wi] = j
+		cand[wi] = j
 		worst = runnerUp
 		if r > worst {
 			worst = r
 		}
 	}
-	return best
-}
-
-// priceDantzig returns the entering column under Dantzig pricing with a
-// candidate list: surviving candidates from the last full pass are re-priced
-// exactly (a handful of columns), and only when none remains attractive does
-// the solver pay for a full pricing sweep.
-func (s *Solver) priceDantzig() int {
-	best, bestRC := -1, -s.tol
-	w := 0
-	for _, j := range s.cand {
-		r := s.reducedCost(j)
-		if r < -s.tol {
-			s.cand[w] = j
-			w++
-			if r < bestRC {
-				bestRC, best = r, j
-			}
-		}
-	}
-	s.cand = s.cand[:w]
-	if best >= 0 {
-		return best
-	}
-	return s.rebuildCandidates()
-}
-
-// priceBland returns the smallest-index eligible column with negative
-// reduced cost (Bland's anti-cycling rule), or -1 at optimality.
-func (s *Solver) priceBland() int {
-	s.fullPrice()
-	limit := s.priceLimit()
-	for j := 0; j < limit; j++ {
-		if s.rc[j] < -s.tol {
-			return j
-		}
-	}
-	return -1
-}
-
-// optimize runs simplex pivots for the current phase until optimality,
-// unboundedness or the iteration limit.  It uses Dantzig pricing over a
-// candidate list and switches to Bland's rule after a run of degenerate
-// pivots to guarantee termination.
-func (s *Solver) optimize(maxIter int) Status {
-	degenerate := 0
-	const degenerateSwitch = 50
-	lastObj := s.objectiveValue()
-	s.cand = s.cand[:0]
-	for {
-		if s.iterations >= maxIter {
-			return StatusIterLimit
-		}
-		var enter int
-		if degenerate >= degenerateSwitch {
-			enter = s.priceBland()
-		} else {
-			enter = s.priceDantzig()
-		}
-		if enter < 0 {
-			return StatusOptimal
-		}
-		leave := s.ratioTest(enter)
-		if leave < 0 {
-			return StatusUnbounded
-		}
-		s.pivot(leave, enter)
-		s.iterations++
-		obj := s.objectiveValue()
-		if obj >= lastObj-s.tol {
-			degenerate++
-		} else {
-			degenerate = 0
-		}
-		lastObj = obj
-	}
-}
-
-// ratioTest picks the leaving row for the entering column, breaking ties
-// towards the smallest basis index (lexicographic anti-cycling bias).
-func (s *Solver) ratioTest(enter int) int {
-	leave := -1
-	bestRatio := math.Inf(1)
-	for i := 0; i < s.rows; i++ {
-		aij := s.a[i*s.stride+enter]
-		if aij <= s.tol {
-			continue
-		}
-		ratio := s.a[i*s.stride+s.cols] / aij
-		if ratio < bestRatio-s.tol ||
-			(math.Abs(ratio-bestRatio) <= s.tol && (leave < 0 || s.basis[i] < s.basis[leave])) {
-			bestRatio = ratio
-			leave = i
-		}
-	}
-	return leave
-}
-
-// pivot performs a Gauss-Jordan pivot on (row, col) over the flat tableau.
-func (s *Solver) pivot(row, col int) {
-	stride := s.stride
-	r := s.a[row*stride : row*stride+stride]
-	inv := 1.0 / r[col]
-	for j := range r {
-		r[j] *= inv
-	}
-	for i := 0; i < s.rows; i++ {
-		if i == row {
-			continue
-		}
-		ri := s.a[i*stride : i*stride+stride]
-		factor := ri[col]
-		if factor == 0 {
-			continue
-		}
-		for j, v := range r {
-			if v != 0 {
-				ri[j] -= factor * v
-			}
-		}
-		ri[col] = 0
-	}
-	s.basis[row] = col
-}
-
-// driveOutArtificials removes artificial variables from the basis after
-// phase one, pivoting on any usable structural column, or neutralising the
-// row when it has become redundant.
-func (s *Solver) driveOutArtificials() {
-	for i := 0; i < s.rows; i++ {
-		if s.basis[i] < s.artLo {
-			continue
-		}
-		pivoted := false
-		row := s.a[i*s.stride : i*s.stride+s.artLo]
-		for j, v := range row {
-			if math.Abs(v) > s.tol {
-				s.pivot(i, j)
-				pivoted = true
-				break
-			}
-		}
-		if !pivoted {
-			// The row is all zeros over structural columns: the constraint
-			// is redundant; keep the artificial basic at value zero.  Zero
-			// the RHS to guard against accumulated round-off.
-			s.a[i*s.stride+s.cols] = 0
-		}
-	}
-}
-
-// extract reads the current basic solution restricted to problem variables.
-func (s *Solver) extract() []float64 {
-	x := make([]float64, s.numVars)
-	for i := 0; i < s.rows; i++ {
-		b := s.basis[i]
-		if b < s.numVars {
-			v := s.a[i*s.stride+s.cols]
-			if v < 0 && v > -s.tol {
-				v = 0
-			}
-			x[b] = v
-		}
-	}
-	return x
-}
-
-// solution assembles the Solution for the given terminal status.
-func (s *Solver) solution(status Status, p *Problem) *Solution {
-	sol := &Solution{
-		Status:           status,
-		Iterations:       s.iterations,
-		Phase1Iterations: s.phase1Iters,
-		PricingPasses:    s.fullPasses,
-		TableauAllocs:    s.allocs,
-	}
-	if status == StatusOptimal {
-		sol.X = s.extract()
-		sol.Objective = p.Value(sol.X)
-	}
-	return sol
+	return best, cand
 }

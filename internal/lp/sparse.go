@@ -1,0 +1,92 @@
+package lp
+
+// cscMatrix is a Problem's constraint matrix in compressed sparse column
+// form, restricted to the structural variable columns and normalised so that
+// every right-hand side is non-negative (rows with a negative RHS are
+// multiplied by -1 and their sense flipped, exactly as the flat solver's
+// load does).  Slack and artificial columns are not materialised: they are
+// singletons whose row and sign follow from the per-row effective sense, and
+// the revised solver handles them symbolically.
+//
+// The matrix is built once per Problem (see Problem.csc) and is strictly
+// read-only during solves, so concurrent solves of one problem can share it.
+type cscMatrix struct {
+	rows, cols int
+
+	// colPtr has cols+1 entries; column j's nonzeros are
+	// rowIdx/val[colPtr[j]:colPtr[j+1]], ordered by increasing row.
+	colPtr []int32
+	rowIdx []int32
+	val    []float64
+
+	// sense[i] is row i's effective sense after sign normalisation and b[i]
+	// its normalised (non-negative) right-hand side.
+	sense []Sense
+	b     []float64
+}
+
+// buildCSC assembles the CSC form of p's constraint matrix.  Cost is
+// O(nonzeros + rows + cols): one counting pass and one fill pass.
+func buildCSC(p *Problem) *cscMatrix {
+	rows := p.NumConstraints()
+	cols := p.NumVars()
+	m := &cscMatrix{
+		rows:   rows,
+		cols:   cols,
+		colPtr: make([]int32, cols+1),
+		rowIdx: make([]int32, p.NumNonzeros()),
+		val:    make([]float64, p.NumNonzeros()),
+		sense:  make([]Sense, rows),
+		b:      make([]float64, rows),
+	}
+	for i := 0; i < rows; i++ {
+		c := p.Constraint(i)
+		m.sense[i] = effectiveSense(c)
+		if c.RHS < 0 {
+			m.b[i] = -c.RHS
+		} else {
+			m.b[i] = c.RHS
+		}
+		for _, co := range c.Coeffs {
+			m.colPtr[co.Var+1]++
+		}
+	}
+	for j := 0; j < cols; j++ {
+		m.colPtr[j+1] += m.colPtr[j]
+	}
+	// Fill pass: advancing per-column cursors kept inside colPtr would lose
+	// the offsets, so use a scratch cursor slice.  Iterating rows in order
+	// leaves every column's entries sorted by row.
+	next := make([]int32, cols)
+	copy(next, m.colPtr[:cols])
+	for i := 0; i < rows; i++ {
+		c := p.Constraint(i)
+		sign := 1.0
+		if c.RHS < 0 {
+			sign = -1.0
+		}
+		for _, co := range c.Coeffs {
+			at := next[co.Var]
+			m.rowIdx[at] = int32(i)
+			m.val[at] = sign * co.Value
+			next[co.Var] = at + 1
+		}
+	}
+	return m
+}
+
+// colDot returns v · A_j for structural column j.
+func (m *cscMatrix) colDot(v []float64, j int) float64 {
+	dot := 0.0
+	for s := m.colPtr[j]; s < m.colPtr[j+1]; s++ {
+		dot += m.val[s] * v[m.rowIdx[s]]
+	}
+	return dot
+}
+
+// scatterCol adds structural column j into the dense vector out.
+func (m *cscMatrix) scatterCol(j int, out []float64) {
+	for s := m.colPtr[j]; s < m.colPtr[j+1]; s++ {
+		out[m.rowIdx[s]] += m.val[s]
+	}
+}

@@ -1,0 +1,56 @@
+package lp
+
+import "sync/atomic"
+
+// Counters is a snapshot of the package-wide solve counters.  The experiment
+// driver records these alongside benchmark tables so the per-revision
+// trajectory files (BENCH_*.json) capture how much simplex work a full run
+// performs, not just how long it took.
+type Counters struct {
+	// Solves is the number of completed Solver.Solve calls.
+	Solves uint64
+	// Iterations is the total number of simplex pivots across all solves.
+	Iterations uint64
+	// PricingPasses is the total number of full reduced-cost sweeps.
+	PricingPasses uint64
+	// Refactorizations is the total number of basis-inverse rebuilds
+	// performed by the revised method.
+	Refactorizations uint64
+	// EtaColumns is the total number of eta columns appended by the revised
+	// method (including refactorization fills).
+	EtaColumns uint64
+}
+
+var stats struct {
+	solves, iters, passes, refactors, etas atomic.Uint64
+}
+
+// recordSolve folds one finished solve into the package counters; callers
+// run concurrently (the experiment pool solves on several goroutines).
+func recordSolve(sol *Solution) {
+	stats.solves.Add(1)
+	stats.iters.Add(uint64(sol.Iterations))
+	stats.passes.Add(uint64(sol.PricingPasses))
+	stats.refactors.Add(uint64(sol.Refactorizations))
+	stats.etas.Add(uint64(sol.EtaColumns))
+}
+
+// StatsSnapshot returns the current package-wide solve counters.
+func StatsSnapshot() Counters {
+	return Counters{
+		Solves:           stats.solves.Load(),
+		Iterations:       stats.iters.Load(),
+		PricingPasses:    stats.passes.Load(),
+		Refactorizations: stats.refactors.Load(),
+		EtaColumns:       stats.etas.Load(),
+	}
+}
+
+// StatsReset zeroes the package-wide solve counters.
+func StatsReset() {
+	stats.solves.Store(0)
+	stats.iters.Store(0)
+	stats.passes.Store(0)
+	stats.refactors.Store(0)
+	stats.etas.Store(0)
+}

@@ -28,7 +28,11 @@
 //     before their next use.
 //
 // The relaxation is solved with the simplex solver of package lp; its
-// optimal value is a lower bound on sOPT(sigma, k).
+// optimal value is a lower bound on sOPT(sigma, k).  Build assembles the
+// program in near-linear time in its size: intervals are enumerated
+// start-major, so the per-start runs (contiguous, End-sorted index ranges)
+// answer both the boundary-spanning and the gap-containment queries without
+// scanning the interval list.
 //
 // # Extracting an integral schedule
 //

@@ -3,6 +3,7 @@ package lpmodel
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"pfcache/internal/core"
@@ -206,5 +207,40 @@ func TestPlanSingleDiskMatchesOptimal(t *testing.T) {
 		if res.ExtraCache != 0 {
 			t.Errorf("trial %d: single-disk schedule used %d extra locations", trial, res.ExtraCache)
 		}
+	}
+}
+
+// TestGapIntervalsMatchesScan cross-checks the offset-indexed gapIntervals
+// against a direct scan of every interval, on the full range and on random
+// (lo, hi) gaps, including empty and out-of-range ones.
+func TestGapIntervalsMatchesScan(t *testing.T) {
+	seq := workload.Uniform(14, 6, 42)
+	in := workload.Instance(seq, 3, 2, 2, workload.AssignStripe, 0)
+	m, err := Build(in)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	n := in.N()
+	check := func(lo, hi int) {
+		got := append([]int(nil), m.gapIntervals(lo, hi)...)
+		var want []int
+		for idx, iv := range m.Intervals {
+			if iv.Start >= lo && iv.End <= hi {
+				want = append(want, idx)
+			}
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("gapIntervals(%d, %d) = %v, scan says %v", lo, hi, got, want)
+		}
+	}
+	check(0, n)
+	check(0, 0)
+	check(n, n)
+	check(-1, n+3)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+2-lo)
+		check(lo, hi)
 	}
 }

@@ -59,6 +59,13 @@ type Model struct {
 	ix      *core.Index
 	initial map[core.BlockID]bool
 
+	// startOff[s] is the index in Intervals of the first interval with
+	// Start == s (startOff has n+1 entries; the enumeration in Build is
+	// start-major, so the intervals starting at s are the contiguous run
+	// Intervals[startOff[s]:startOff[s+1]], ordered by increasing End).
+	// gapIntervals answers every (lo, hi) query from these offsets.
+	startOff []int
+
 	gapBuf []int // scratch for gapIntervals
 }
 
@@ -110,11 +117,14 @@ func Build(in *core.Instance) (*Model, error) {
 	m.Blocks = append(m.Blocks, m.Dummies...)
 
 	// Enumerate intervals: Start in [0, n-1], End in [Start+1, min(n, Start+F+1)].
+	m.startOff = make([]int, n+1)
 	for i := 0; i < n; i++ {
+		m.startOff[i] = len(m.Intervals)
 		for j := i + 1; j <= n && j-i-1 <= in.F; j++ {
 			m.Intervals = append(m.Intervals, Interval{Start: i, End: j})
 		}
 	}
+	m.startOff[n] = len(m.Intervals)
 
 	prob := lp.NewProblem(0)
 	m.Problem = prob
@@ -190,14 +200,25 @@ func (m *Model) blockReferencedInside(b core.BlockID, iv Interval) bool {
 }
 
 // addBoundaryConstraints adds, for every request boundary q in [1, n-1], the
-// constraint that at most one interval spans it.
+// constraint that at most one interval spans it.  An interval (s, e) spans q
+// when s <= q-1 and e >= q+1; per start s the spanning intervals are a
+// suffix of the End-sorted run startOff[s]:startOff[s+1], so each boundary
+// is assembled from the offsets without scanning the interval list.
 func (m *Model) addBoundaryConstraints() {
 	n := m.In.N()
+	var coeffs []lp.Coef
 	for q := 1; q <= n-1; q++ {
-		var coeffs []lp.Coef
-		for idx, iv := range m.Intervals {
-			if iv.Start <= q-1 && iv.End >= q+1 {
-				coeffs = append(coeffs, lp.Coef{Var: m.xVar[idx], Value: 1})
+		coeffs = coeffs[:0]
+		lo := q - m.In.F // smallest start whose run (End <= s+F+1) reaches End >= q+1
+		if lo < 0 {
+			lo = 0
+		}
+		for s := lo; s <= q-1; s++ {
+			base := m.startOff[s]
+			run := m.startOff[s+1] - base
+			skip := q - s // run entries with End in s+1 .. q do not span q
+			for t := skip; t < run; t++ {
+				coeffs = append(coeffs, lp.Coef{Var: m.xVar[base+t], Value: 1})
 			}
 		}
 		if len(coeffs) > 0 {
@@ -239,11 +260,26 @@ func (m *Model) addPerIntervalConstraints() {
 // gapIntervals returns the indices of intervals fully contained in the open
 // request-number gap (lo, hi): Start >= lo and End <= hi.  The returned
 // slice is valid until the next call.
+//
+// The intervals starting at s are the contiguous, End-sorted index run
+// startOff[s]:startOff[s+1] with End covering s+1 .. s+(run length), so the
+// matches per start are a prefix of the run whose length is arithmetic — no
+// interval is ever inspected and rejected, making the whole query
+// output-sensitive: O(hi-lo + matches) instead of a scan of all intervals.
 func (m *Model) gapIntervals(lo, hi int) []int {
 	out := m.gapBuf[:0]
-	for idx, iv := range m.Intervals {
-		if iv.Start >= lo && iv.End <= hi {
-			out = append(out, idx)
+	n := m.In.N()
+	if lo < 0 {
+		lo = 0
+	}
+	for s := lo; s < n && s < hi; s++ {
+		base := m.startOff[s]
+		count := hi - s // intervals with End in s+1 .. hi
+		if run := m.startOff[s+1] - base; count > run {
+			count = run
+		}
+		for t := 0; t < count; t++ {
+			out = append(out, base+t)
 		}
 	}
 	m.gapBuf = out

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Allocation-regression guard: the pooled LP solve paths (reused Solver, see
+# BenchmarkLPSolveRevised / BenchmarkLPSolveFlat) must stay O(1) allocs per
+# solve — that property is what keeps the E7/E8 sweeps allocation-free in
+# steady state.  Runs the benchmarks once (-benchtime 1x; they warm the
+# solver up before the timer) and fails if allocs/op exceeds MAX_ALLOCS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+MAX_ALLOCS="${MAX_ALLOCS:-8}"
+out=$(go test -run '^$' -bench 'BenchmarkLPSolve(Revised|Flat)$' -benchmem -benchtime 1x .)
+echo "$out"
+echo "$out" | awk -v max="$MAX_ALLOCS" '
+	/^BenchmarkLPSolve/ {
+		allocs = $(NF-1)
+		if (allocs + 0 > max + 0) {
+			printf "FAIL: %s allocates %s allocs/op (max %s)\n", $1, allocs, max
+			bad = 1
+		}
+	}
+	END {
+		if (!bad) printf "alloc guard OK (max %s allocs/op)\n", max
+		exit bad
+	}'

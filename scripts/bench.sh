@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates the perf-trajectory point for the current revision: the full
+# experiment suite as machine-readable JSON, run sequentially (-workers 1)
+# and without wall times (-stable) so the output is byte-reproducible.
+#
+# Usage: scripts/bench.sh [output-file]     (default BENCH_1.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+go run ./cmd/pcbench -json -stable -workers 1 > "$out"
+echo "wrote $out"
