@@ -144,6 +144,49 @@ func BenchmarkExhaustiveOptimalSmall(b *testing.B) {
 	}
 }
 
+// The BenchmarkOptSearch* group tracks the exact-search engine of
+// internal/opt on the instance sizes of experiment E7: the old size (n=11,
+// the pre-rewrite ceiling) and the new size (n=22, D=3, unlocked by the
+// A*/branch-and-bound rewrite).  The AStar/Dijkstra pairs keep the informed
+// engine comparable with the blind uniform-cost reference; CI's bench smoke
+// runs the group and scripts/allocguard.sh bounds the AStar paths' allocs/op.
+
+func optSearchOldSizeInstance() *core.Instance {
+	seq := workload.Uniform(11, 6, 900)
+	return workload.Instance(seq, 3, 2, 3, workload.AssignStripe, 0)
+}
+
+func optSearchE7SizeInstance() *core.Instance {
+	seq := workload.Uniform(22, 10, 900)
+	return workload.Instance(seq, 4, 4, 3, workload.AssignStripe, 0)
+}
+
+func benchOptSearch(b *testing.B, in *core.Instance, opts opt.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimal(in, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptSearchAStarOldSize(b *testing.B) {
+	benchOptSearch(b, optSearchOldSizeInstance(), opt.Options{})
+}
+
+func BenchmarkOptSearchDijkstraOldSize(b *testing.B) {
+	benchOptSearch(b, optSearchOldSizeInstance(), opt.Options{Bound: opt.BoundNone, NoHeuristic: true})
+}
+
+func BenchmarkOptSearchAStarE7Size(b *testing.B) {
+	benchOptSearch(b, optSearchE7SizeInstance(), opt.Options{})
+}
+
+func BenchmarkOptSearchDijkstraE7Size(b *testing.B) {
+	benchOptSearch(b, optSearchE7SizeInstance(), opt.Options{Bound: opt.BoundNone, NoHeuristic: true})
+}
+
 func BenchmarkLPRelaxation(b *testing.B) {
 	seq := workload.Uniform(18, 8, 3)
 	in := workload.Instance(seq, 4, 3, 2, workload.AssignStripe, 0)

@@ -28,6 +28,7 @@ import (
 
 	"pfcache/internal/experiments"
 	"pfcache/internal/lp"
+	"pfcache/internal/opt"
 )
 
 // jsonResult is the JSON shape of one experiment result, stable for
@@ -52,12 +53,26 @@ type jsonLPCounters struct {
 	EtaColumns       uint64 `json:"eta_columns"`
 }
 
+// jsonOptCounters mirrors opt.Counters: how much exact-search work the run
+// performed (the A*/branch-and-bound engine of internal/opt).  Expansion and
+// pruning counts catch search regressions the same way pivot counts catch
+// simplex regressions.
+type jsonOptCounters struct {
+	Searches      uint64 `json:"searches"`
+	Expanded      uint64 `json:"expanded"`
+	Generated     uint64 `json:"generated"`
+	PrunedByBound uint64 `json:"pruned_by_bound"`
+	DuplicateHits uint64 `json:"duplicate_hits"`
+	PeakTable     uint64 `json:"peak_table"`
+}
+
 // jsonOutput is the top-level -json shape: per-experiment tables plus the
-// LP solver configuration and work counters of the run.
+// LP solver configuration and the LP / exact-search work counters of the run.
 type jsonOutput struct {
-	Solver  string         `json:"solver"`
-	Results []jsonResult   `json:"results"`
-	LP      jsonLPCounters `json:"lp"`
+	Solver  string          `json:"solver"`
+	Results []jsonResult    `json:"results"`
+	LP      jsonLPCounters  `json:"lp"`
+	Opt     jsonOptCounters `json:"opt"`
 }
 
 // main only converts run's exit code: all the work happens in run, whose
@@ -68,7 +83,7 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	runFlag := flag.String("run", "", "comma-separated experiment identifiers to run (default: all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
-	jsonOut := flag.Bool("json", false, "emit results as JSON (includes per-experiment wall time and LP solver counters)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON (includes per-experiment wall time plus LP solver and exact-search counters)")
 	stable := flag.Bool("stable", false, "omit wall times from -json output so repeated runs are byte-identical")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
@@ -119,12 +134,14 @@ func run() int {
 	}
 
 	lp.StatsReset()
+	opt.StatsReset()
 	results, err := experiments.RunAll(selected)
 	// Print whatever completed even when some experiment failed, so one
 	// broken experiment does not hide the others' results (failed entries
 	// have a nil table and are skipped).
 	if *jsonOut {
 		counters := lp.StatsSnapshot()
+		optCounters := opt.StatsSnapshot()
 		out := jsonOutput{
 			Solver: method.String(),
 			LP: jsonLPCounters{
@@ -133,6 +150,14 @@ func run() int {
 				PricingPasses:    counters.PricingPasses,
 				Refactorizations: counters.Refactorizations,
 				EtaColumns:       counters.EtaColumns,
+			},
+			Opt: jsonOptCounters{
+				Searches:      optCounters.Searches,
+				Expanded:      optCounters.Expanded,
+				Generated:     optCounters.Generated,
+				PrunedByBound: optCounters.PrunedByBound,
+				DuplicateHits: optCounters.DuplicateHits,
+				PeakTable:     optCounters.PeakTable,
 			},
 			Results: make([]jsonResult, 0, len(results)),
 		}

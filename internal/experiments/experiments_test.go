@@ -129,34 +129,51 @@ func TestE4RatioGrowsWithPhases(t *testing.T) {
 	}
 }
 
-// TestE5ShapeAndBounds checks the Delay sweep: the analytic bound has an
-// interior minimum near d0 with value below 1.8, and measured ratios never
-// exceed the analytic bound.
+// TestE5ShapeAndBounds checks the Delay sweep: within each instance-size
+// group the analytic bound has an interior minimum near d0 with value below
+// 1.8, and measured ratios never exceed the analytic bound.
 func TestE5ShapeAndBounds(t *testing.T) {
 	tab, err := E5DelaySweep()
 	if err != nil {
 		t.Fatalf("E5: %v", err)
 	}
-	minBound := 10.0
-	minD := -1
+	groups := map[string][][]string{}
+	var order []string
 	for _, row := range tab.Rows {
-		d, _ := strconv.Atoi(row[0])
-		bound, _ := strconv.ParseFloat(row[1], 64)
-		max, _ := strconv.ParseFloat(row[3], 64)
+		n := row[0]
+		if _, ok := groups[n]; !ok {
+			order = append(order, n)
+		}
+		groups[n] = append(groups[n], row)
+		d, _ := strconv.Atoi(row[1])
+		bound, _ := strconv.ParseFloat(row[2], 64)
+		max, _ := strconv.ParseFloat(row[4], 64)
 		if max > bound+1e-9 {
-			t.Errorf("d=%d: measured ratio %f exceeds Theorem 3 bound %f", d, max, bound)
-		}
-		if bound < minBound {
-			minBound, minD = bound, d
+			t.Errorf("n=%s d=%d: measured ratio %f exceeds Theorem 3 bound %f", n, d, max, bound)
 		}
 	}
-	if minBound > 1.8 {
-		t.Errorf("minimum Theorem 3 bound %f is not near sqrt(3)", minBound)
+	if len(order) < 2 {
+		t.Fatalf("expected at least two instance-size groups, got %v", order)
 	}
-	first, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
-	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
-	if !(minBound < first && minBound < last) {
-		t.Errorf("bound minimum (d=%d) is not interior: ends %f %f min %f", minD, first, last, minBound)
+	for _, n := range order {
+		rows := groups[n]
+		minBound := 10.0
+		minD := -1
+		for _, row := range rows {
+			d, _ := strconv.Atoi(row[1])
+			bound, _ := strconv.ParseFloat(row[2], 64)
+			if bound < minBound {
+				minBound, minD = bound, d
+			}
+		}
+		if minBound > 1.8 {
+			t.Errorf("n=%s: minimum Theorem 3 bound %f is not near sqrt(3)", n, minBound)
+		}
+		first, _ := strconv.ParseFloat(rows[0][2], 64)
+		last, _ := strconv.ParseFloat(rows[len(rows)-1][2], 64)
+		if !(minBound < first && minBound < last) {
+			t.Errorf("n=%s: bound minimum (d=%d) is not interior: ends %f %f min %f", n, minD, first, last, minBound)
+		}
 	}
 }
 
@@ -186,22 +203,30 @@ func TestE6CombinationNeverWorst(t *testing.T) {
 	}
 }
 
-// TestE7Theorem4 checks the headline result: the LP schedule's stall equals
-// the optimum (ratio 1.0) and the extra cache stays within 2(D-1).
+// TestE7Theorem4 checks the headline result: the LP schedule's stall never
+// exceeds the optimum (ratio at most 1.0) and the extra cache stays within
+// 2(D-1).  It also checks the search-engine comparison the table carries: the
+// informed A*/branch-and-bound search must expand strictly fewer states than
+// the blind Dijkstra reference on every row.
 func TestE7Theorem4(t *testing.T) {
 	tab, err := E7ParallelLPOptimal()
 	if err != nil {
 		t.Fatalf("E7: %v", err)
 	}
 	for _, row := range tab.Rows {
-		maxRatio, _ := strconv.ParseFloat(row[3], 64)
-		extra, _ := strconv.Atoi(row[4])
-		budget, _ := strconv.Atoi(row[5])
+		maxRatio, _ := strconv.ParseFloat(row[4], 64)
+		extra, _ := strconv.Atoi(row[5])
+		budget, _ := strconv.Atoi(row[6])
+		astar, _ := strconv.Atoi(row[8])
+		dijkstra, _ := strconv.Atoi(row[9])
 		if maxRatio > 1+1e-9 {
 			t.Errorf("row %v: LP stall ratio %f exceeds 1", row, maxRatio)
 		}
 		if extra > budget {
 			t.Errorf("row %v: extra cache %d exceeds budget %d", row, extra, budget)
+		}
+		if astar >= dijkstra {
+			t.Errorf("row %v: astar expanded %d states, not fewer than dijkstra's %d", row, astar, dijkstra)
 		}
 	}
 }

@@ -53,38 +53,58 @@ func E2IntroParallelExample() (*report.Table, error) {
 }
 
 // E7ParallelLPOptimal is the reproduction of Theorem 4: on random multi-disk
-// instances the LP-based schedule must match the optimal stall time while
-// using at most 2(D-1) extra cache locations, improving on the previous
-// D-approximation.  Expected shape: "stall ratio" 1.000 for every D and
-// "max extra" at most 2(D-1).
+// instances the LP-based schedule must not exceed the optimal stall time
+// sOPT(sigma, k) while using at most 2(D-1) extra cache locations, improving
+// on the previous D-approximation.  Expected shape: "stall ratio" at most
+// 1.000 for every D (the schedule may even beat OPT(k) thanks to its extra
+// locations) and "max extra" at most 2(D-1).  The n=11 rows are the
+// historical instance size; the n=22 rows are the larger instances unlocked
+// by the A*/branch-and-bound search, whose state expansions are reported next
+// to the blind Dijkstra reference's in the last two columns.
 func E7ParallelLPOptimal() (*report.Table, error) {
 	t := report.NewTable("E7: Theorem 4 - LP schedule vs optimal stall",
-		"D", "instances", "mean stall ratio", "max stall ratio", "max extra cache", "budget 2(D-1)", "mean LP bound / OPT")
-	t.Note = "Expected: stall ratio 1.000, extra cache within budget."
+		"D", "n", "instances", "mean stall ratio", "max stall ratio", "max extra cache", "budget 2(D-1)", "mean LP bound / OPT", "astar expanded", "dijkstra expanded")
+	t.Note = "Expected: stall ratio <= 1.000, extra cache within budget, astar expansions below dijkstra's."
 	diskSet := []int{1, 2, 3}
+	sizes := []struct{ n, blocks, k, f int }{
+		{11, 6, 3, 2},
+		{22, 10, 4, 4},
+	}
 	const seeds = 4
 	type point struct {
-		ratio, bound float64
-		extra        int
+		ratio, bound      float64
+		extra             int
+		astarExp, dijkExp int
 	}
-	points := make([]point, len(diskSet)*seeds)
+	points := make([]point, len(diskSet)*len(sizes)*seeds)
 	err := forEach(len(points), func(i int) error {
-		disks := diskSet[i/seeds]
+		disks := diskSet[i/(len(sizes)*seeds)]
+		size := sizes[i/seeds%len(sizes)]
 		seed := int64(i % seeds)
-		seq := workload.Uniform(11, 6, 900+seed)
-		in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
+		seq := workload.Uniform(size.n, size.blocks, 900+seed)
+		in := workload.Instance(seq, size.k, size.f, disks, workload.AssignStripe, 0)
 		optRes, err := opt.Optimal(in, opt.Options{})
 		if err != nil {
 			return err
+		}
+		dijkRes, err := opt.Optimal(in, opt.Options{Bound: opt.BoundNone, NoHeuristic: true})
+		if err != nil {
+			return err
+		}
+		if dijkRes.Stall != optRes.Stall {
+			return fmt.Errorf("E7: engines disagree on D=%d n=%d seed=%d: astar %d, dijkstra %d",
+				disks, size.n, seed, optRes.Stall, dijkRes.Stall)
 		}
 		res, err := parallel.LPOptimalWith(in, lpOptions())
 		if err != nil {
 			return err
 		}
 		points[i] = point{
-			ratio: stats.Ratio(float64(res.Stall), float64(optRes.Stall)),
-			bound: stats.Ratio(res.LowerBound, float64(optRes.Stall)),
-			extra: res.ExtraCache,
+			ratio:    stats.Ratio(float64(res.Stall), float64(optRes.Stall)),
+			bound:    stats.Ratio(res.LowerBound, float64(optRes.Stall)),
+			extra:    res.ExtraCache,
+			astarExp: optRes.StatesExpanded,
+			dijkExp:  dijkRes.StatesExpanded,
 		}
 		return nil
 	})
@@ -92,18 +112,23 @@ func E7ParallelLPOptimal() (*report.Table, error) {
 		return nil, err
 	}
 	for di, disks := range diskSet {
-		var ratios, bounds []float64
-		maxExtra := 0
-		for _, p := range points[di*seeds : (di+1)*seeds] {
-			ratios = append(ratios, p.ratio)
-			bounds = append(bounds, p.bound)
-			if p.extra > maxExtra {
-				maxExtra = p.extra
+		for si, size := range sizes {
+			var ratios, bounds []float64
+			maxExtra, astarExp, dijkExp := 0, 0, 0
+			base := (di*len(sizes) + si) * seeds
+			for _, p := range points[base : base+seeds] {
+				ratios = append(ratios, p.ratio)
+				bounds = append(bounds, p.bound)
+				if p.extra > maxExtra {
+					maxExtra = p.extra
+				}
+				astarExp += p.astarExp
+				dijkExp += p.dijkExp
 			}
+			s := stats.Summarize(ratios)
+			b := stats.Summarize(bounds)
+			t.AddRow(disks, size.n, seeds, s.Mean, s.Max, maxExtra, 2*(disks-1), b.Mean, astarExp, dijkExp)
 		}
-		s := stats.Summarize(ratios)
-		b := stats.Summarize(bounds)
-		t.AddRow(disks, seeds, s.Mean, s.Max, maxExtra, 2*(disks-1), b.Mean)
 	}
 	return t, nil
 }

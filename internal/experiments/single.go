@@ -85,7 +85,7 @@ func E1IntroExample() (*report.Table, error) {
 func E3AggressiveRatio() (*report.Table, error) {
 	t := report.NewTable("E3: Aggressive elapsed-time ratio vs bounds (Theorem 1)",
 		"k", "F", "workload", "mean ratio", "max ratio", "Thm1 bound", "Cao bound")
-	t.Note = "Expected: max ratio <= Thm1 bound <= Cao bound <= 2."
+	t.Note = "Expected: max ratio <= Thm1 bound <= Cao bound <= 2.  The *-36 workloads are the larger instances unlocked by the A*/branch-and-bound search."
 	type cfg struct{ k, f int }
 	configs := []cfg{{3, 2}, {4, 2}, {4, 4}, {5, 3}, {5, 5}, {3, 5}}
 	workloads := []struct {
@@ -95,6 +95,8 @@ func E3AggressiveRatio() (*report.Table, error) {
 		{"uniform", func(seed int64) core.Sequence { return workload.Uniform(20, 8, seed) }},
 		{"zipf", func(seed int64) core.Sequence { return workload.Zipf(20, 8, 1.1, seed) }},
 		{"loop", func(seed int64) core.Sequence { return workload.Loop(7, 3) }},
+		{"uniform-36", func(seed int64) core.Sequence { return workload.Uniform(36, 10, seed) }},
+		{"zipf-36", func(seed int64) core.Sequence { return workload.Zipf(36, 10, 1.1, seed) }},
 	}
 	type point struct{ mean, max float64 }
 	points := make([]point, len(configs)*len(workloads))
@@ -143,7 +145,7 @@ func E4AggressiveLowerBound() (*report.Table, error) {
 	t.Note = "Expected: ratio climbs with phases towards (k+l+F)/(k+l+2), which tends to the Thm2 bound for large k and F."
 	type cfg struct{ k, f int }
 	configs := []cfg{{7, 4}, {5, 3}, {9, 5}, {13, 5}}
-	phaseSet := []int{2, 6, 16}
+	phaseSet := []int{2, 6, 16, 40}
 	type row struct{ agg, cons int }
 	rows := make([]row, len(configs)*len(phaseSet))
 	err := forEach(len(rows), func(i int) error {
@@ -189,11 +191,20 @@ func E4AggressiveLowerBound() (*report.Table, error) {
 func E5DelaySweep() (*report.Table, error) {
 	const k, f = 4, 6
 	t := report.NewTable(fmt.Sprintf("E5: Delay(d) sweep (k=%d, F=%d)", k, f),
-		"d", "Thm3 bound", "mean ratio", "max ratio")
-	t.Note = fmt.Sprintf("Expected: bound minimised near d0=%d at about sqrt(3)=1.732.", single.BestDelay(f))
-	gens := []func(seed int64) core.Sequence{
-		func(seed int64) core.Sequence { return workload.Uniform(20, 7, seed) },
-		func(seed int64) core.Sequence { return workload.Zipf(20, 7, 1.2, seed+100) },
+		"n", "d", "Thm3 bound", "mean ratio", "max ratio")
+	t.Note = fmt.Sprintf("Expected: bound minimised near d0=%d at about sqrt(3)=1.732.  n=20 are the historical rows, n=32 the larger instances.", single.BestDelay(f))
+	sets := []struct {
+		n    int
+		gens []func(seed int64) core.Sequence
+	}{
+		{20, []func(seed int64) core.Sequence{
+			func(seed int64) core.Sequence { return workload.Uniform(20, 7, seed) },
+			func(seed int64) core.Sequence { return workload.Zipf(20, 7, 1.2, seed+100) },
+		}},
+		{32, []func(seed int64) core.Sequence{
+			func(seed int64) core.Sequence { return workload.Uniform(32, 9, seed) },
+			func(seed int64) core.Sequence { return workload.Zipf(32, 9, 1.2, seed+100) },
+		}},
 	}
 	// Precompute the optima once per instance, in parallel.
 	type inst struct {
@@ -201,10 +212,20 @@ func E5DelaySweep() (*report.Table, error) {
 		opt int
 	}
 	const instSeeds = 2
-	instances := make([]inst, len(gens)*instSeeds)
+	// The flat index arithmetic below requires every size group to hold the
+	// same number of instances.
+	perSet := len(sets[0].gens) * instSeeds
+	for _, set := range sets {
+		if len(set.gens)*instSeeds != perSet {
+			return nil, fmt.Errorf("E5: size group n=%d has %d generators, want %d", set.n, len(set.gens), perSet/instSeeds)
+		}
+	}
+	instances := make([]inst, len(sets)*perSet)
 	err := forEach(len(instances), func(i int) error {
-		g := gens[i/instSeeds]
-		seed := int64(i % instSeeds)
+		set := sets[i/perSet]
+		j := i % perSet
+		g := set.gens[j/instSeeds]
+		seed := int64(j % instSeeds)
 		in := core.SingleDisk(g(seed), k, f)
 		o, err := opt.Optimal(in, opt.Options{})
 		if err != nil {
@@ -217,10 +238,13 @@ func E5DelaySweep() (*report.Table, error) {
 		return nil, err
 	}
 	type point struct{ mean, max float64 }
-	points := make([]point, 2*f+1)
-	err = forEach(len(points), func(d int) error {
+	sweep := 2*f + 1
+	points := make([]point, len(sets)*sweep)
+	err = forEach(len(points), func(i int) error {
+		si := i / sweep
+		d := i % sweep
 		var ratios []float64
-		for _, it := range instances {
+		for _, it := range instances[si*perSet : (si+1)*perSet] {
 			sched, err := single.Delay(it.in, d)
 			if err != nil {
 				return err
@@ -232,14 +256,14 @@ func E5DelaySweep() (*report.Table, error) {
 			ratios = append(ratios, stats.Ratio(float64(res.Elapsed), float64(it.opt)))
 		}
 		s := stats.Summarize(ratios)
-		points[d] = point{mean: s.Mean, max: s.Max}
+		points[i] = point{mean: s.Mean, max: s.Max}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for d, p := range points {
-		t.AddRow(d, single.DelayUpperBound(d, f), p.mean, p.max)
+	for i, p := range points {
+		t.AddRow(sets[i/sweep].n, i%sweep, single.DelayUpperBound(i%sweep, f), p.mean, p.max)
 	}
 	return t, nil
 }
@@ -263,6 +287,8 @@ func E6Combination() (*report.Table, error) {
 		{"zipf", 4, 5, func(seed int64) core.Sequence { return workload.Zipf(20, 8, 1.2, seed) }},
 		{"loop", 3, 4, func(seed int64) core.Sequence { return workload.Loop(6, 3) }},
 		{"phased", 4, 4, func(seed int64) core.Sequence { return workload.Phased(2, 10, 5, 2, seed) }},
+		{"uniform-32", 5, 4, func(seed int64) core.Sequence { return workload.Uniform(32, 10, seed) }},
+		{"phased-32", 5, 3, func(seed int64) core.Sequence { return workload.Phased(2, 16, 8, 3, seed) }},
 	}
 	algoNames := []string{"aggressive", "conservative", "delay:auto", "combination", "demand-min"}
 	const seeds = 3

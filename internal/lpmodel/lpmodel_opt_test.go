@@ -1,0 +1,86 @@
+package lpmodel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfcache/internal/core"
+	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
+	"pfcache/internal/opt"
+	"pfcache/internal/sim"
+	"pfcache/internal/workload"
+)
+
+// TestTheorem4OnRandomInstances is the central Theorem 4 reproduction test:
+// on random small multi-disk instances the LP lower bound must not exceed the
+// exhaustive optimum, and the extracted schedule must achieve stall time at
+// most the exhaustive optimum while using at most 2(D-1) extra locations.
+func TestTheorem4OnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trials := 0
+	for trials < 18 {
+		n := 6 + rng.Intn(5)
+		blocks := 4 + rng.Intn(3)
+		k := 2 + rng.Intn(2)
+		f := 1 + rng.Intn(3)
+		disks := 1 + rng.Intn(3)
+		seq := workload.Uniform(n, blocks, int64(1000+trials))
+		in := workload.Instance(seq, k, f, disks, workload.AssignStripe, 0)
+		optRes, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			t.Fatalf("opt: %v", err)
+		}
+		res, err := lpmodel.Plan(in, lp.Options{})
+		if err != nil {
+			t.Fatalf("Plan: %v (seq=%v k=%d F=%d D=%d)", err, seq, k, f, disks)
+		}
+		trials++
+		if res.LowerBound > float64(optRes.Stall)+1e-6 {
+			t.Fatalf("LP lower bound %.4f exceeds optimal stall %d (seq=%v k=%d F=%d D=%d)",
+				res.LowerBound, optRes.Stall, seq, k, f, disks)
+		}
+		if res.Stall > optRes.Stall {
+			t.Errorf("extracted stall %d exceeds optimal stall %d (lower bound %.3f, integral=%v, seq=%v k=%d F=%d D=%d)",
+				res.Stall, optRes.Stall, res.LowerBound, res.Integral, seq, k, f, disks)
+		}
+		if res.ExtraCache > 2*(disks-1) {
+			t.Errorf("extracted schedule uses %d extra locations, budget 2(D-1)=%d (seq=%v k=%d F=%d D=%d)",
+				res.ExtraCache, 2*(disks-1), seq, k, f, disks)
+		}
+		// The schedule must of course be executable on the real instance.
+		if _, err := sim.Run(in, res.Schedule, sim.Options{}); err != nil {
+			t.Fatalf("extracted schedule infeasible: %v", err)
+		}
+	}
+}
+
+// TestPlanSingleDiskMatchesOptimal checks that with D = 1 the pipeline
+// reproduces the polynomial-time optimality result of Albers, Garg and
+// Leonardi: stall equal to OPT with no extra cache locations.
+func TestPlanSingleDiskMatchesOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(6)
+		blocks := 4 + rng.Intn(3)
+		k := 2 + rng.Intn(2)
+		f := 2 + rng.Intn(2)
+		seq := workload.Uniform(n, blocks, int64(trial))
+		in := core.SingleDisk(seq, k, f)
+		optStall, err := opt.OptimalStall(in, opt.Options{})
+		if err != nil {
+			t.Fatalf("opt: %v", err)
+		}
+		res, err := lpmodel.Plan(in, lp.Options{})
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+		if res.Stall != optStall {
+			t.Errorf("trial %d: LP schedule stall %d != optimal %d (lower bound %.3f, seq=%v k=%d F=%d)",
+				trial, res.Stall, optStall, res.LowerBound, seq, k, f)
+		}
+		if res.ExtraCache != 0 {
+			t.Errorf("trial %d: single-disk schedule used %d extra locations", trial, res.ExtraCache)
+		}
+	}
+}

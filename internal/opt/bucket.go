@@ -1,0 +1,47 @@
+package opt
+
+// bucketQueue is a monotone bucket priority queue over small non-negative
+// integer priorities (the search's f = g + h values, bounded by the optimal
+// stall time).  It replaces the former container/heap binary heap: push and
+// pop are O(1) amortized, and entries are bare int32 arena indices, so the
+// queue allocates only when a bucket grows.
+//
+// The cursor normally only moves forward (costs popped in non-decreasing
+// order), but a push below the cursor moves it back: the search's heuristic
+// is admissible yet not consistent, so a reopened node can re-enter the queue
+// with an f value smaller than the current minimum.
+type bucketQueue struct {
+	buckets [][]int32
+	cur     int
+	count   int
+}
+
+func (q *bucketQueue) push(f int, node int32) {
+	for f >= len(q.buckets) {
+		q.buckets = append(q.buckets, nil)
+	}
+	q.buckets[f] = append(q.buckets[f], node)
+	if f < q.cur {
+		q.cur = f
+	}
+	q.count++
+}
+
+// pop removes and returns a node with the minimum f value.  Ties pop in LIFO
+// order, which is deterministic and tends to reach goal states sooner (the
+// most recently generated node of equal f is the deepest).
+func (q *bucketQueue) pop() (node int32, f int, ok bool) {
+	if q.count == 0 {
+		return 0, 0, false
+	}
+	for len(q.buckets[q.cur]) == 0 {
+		q.cur++
+	}
+	b := q.buckets[q.cur]
+	node = b[len(b)-1]
+	q.buckets[q.cur] = b[:len(b)-1]
+	q.count--
+	return node, q.cur, true
+}
+
+func (q *bucketQueue) len() int { return q.count }

@@ -1,5 +1,6 @@
 // Package opt computes exactly optimal prefetching/caching schedules for
-// small instances by uniform-cost search over system states.
+// small instances by informed search (A* with branch-and-bound pruning) over
+// system states.
 //
 // The paper compares its algorithms against an information-theoretic optimum
 // OPT: the minimum stall time (equivalently elapsed time) over all feasible
@@ -7,15 +8,81 @@
 // is computable in polynomial time, and Section 3 of the paper extends this
 // to parallel disks at the cost of a little extra cache; both run through a
 // linear program (package lpmodel).  For the experiment harness we
-// additionally want a completely independent ground truth on small instances,
-// obtained here by exhaustive search.
+// additionally want a completely independent ground truth, obtained here by
+// exact state-space search.
+//
+// # State model
 //
 // A search state consists of the cursor position, the set of resident blocks,
 // and, for every disk, the block currently being fetched together with its
 // remaining fetch time.  Transitions either initiate fetches on idle disks,
 // serve the next request (advancing every in-flight fetch by one time unit),
 // or stall until the earliest fetch completion (paying the stall as cost).
-// Dijkstra's algorithm over this graph yields the minimum total stall time.
+// The minimum-cost path from the initial state to any state with every
+// request served realises the minimum total stall time.
+//
+// # Search
+//
+// The engine is A* with branch-and-bound pruning.  Node records live in a
+// flat arena addressed by int32 indices, reached states are looked up in an
+// open-addressing hash table over the packed state keys, and the frontier is
+// a monotone bucket queue over f = g + h (stall costs are small non-negative
+// integers), so the search performs no per-node heap allocations.  Options
+// can disable both refinements (NoHeuristic and BoundNone), which yields
+// exactly the historical uniform-cost Dijkstra search; the property tests pin
+// the informed engine to the blind one on random instances.
+//
+// # The heuristic and its admissibility
+//
+// h lower-bounds the stall time still to be paid from a state s with r
+// unserved requests.  Let n be the request count, let t(s) be the wall-clock
+// time already spent and g(s) the stall already paid, so t(s) = (n - r) +
+// g(s).  Any completion of s serves r more requests, hence total elapsed time
+// is t(s) + E where E, the remaining elapsed time, satisfies remaining stall
+// = E - r.  Any lower bound on E therefore gives the admissible heuristic
+// h = max(0, max_d T_d - r), where T_d lower-bounds E via the mandatory work
+// of disk d:
+//
+//   - Let m_d be the number of distinct blocks that are referenced at or
+//     after the cursor and are neither resident nor in flight, residing on
+//     disk d.  Each such block must complete a fetch of length F on disk d
+//     before its first future reference is served (blocks only become
+//     resident through fetches on their own disk).  Fetches on one disk
+//     execute sequentially, and an in-flight fetch (rem_d time units
+//     remaining) cannot be aborted, so the last of these fetches completes no
+//     earlier than rem_d + m_d*F from now.
+//   - The scheduler chooses the fetch order, so the block fetched last can
+//     only be one of the m_d missing blocks; after its completion, at least
+//     the requests from its first future reference p to the end must still be
+//     served, taking at least n - p time units.  Minimising over the
+//     scheduler's choice gives the admissible residue n - maxRef_d, where
+//     maxRef_d is the latest first-future-reference among the m_d blocks.
+//     Hence T_d = rem_d + m_d*F + (n - maxRef_d).
+//   - If disk d's in-flight block is itself still referenced (at position q),
+//     its delivery completes rem_d from now and the requests q..n-1 are
+//     served only afterwards: T_d >= rem_d + (n - q).  The maximum of both
+//     bounds is used.
+//
+// Every quantity counts work that any feasible completion must perform, so
+// h never exceeds the true remaining stall: A* with such an admissible h
+// (with reopening of closed nodes, since h is not consistent — a delivery
+// can drop T_d by more than the transition's cost) pops the goal with an
+// optimal g.  At a goal state r = 0 and every mask is empty, so h = 0.
+//
+// # Branch-and-bound
+//
+// Before the search, the existing greedy algorithms (package single's
+// registry for one disk, package parallel's strategies otherwise) produce
+// feasible schedules; the cheapest executed stall time seeds the incumbent
+// upper bound, and every generated state with g + h >= incumbent is pruned.
+// On an optimal path g + h never exceeds the optimal stall, so pruning is
+// lossless while the incumbent is an upper bound; if the incumbent is itself
+// optimal the search prunes every path and returns the seed schedule, whose
+// optimality is thereby proved.  Seeds run on the nominal cache size k, so
+// their stall also upper-bounds searches granted ExtraCache locations (extra
+// cache never increases the optimum).
+//
+// # Branching modes
 //
 // Two branching modes are provided.  The default pruned mode applies two
 // exchange arguments that are standard for this model (and are proved for

@@ -1,0 +1,96 @@
+package opt
+
+import "math/bits"
+
+// The A* heuristic: an admissible per-state lower bound h on the remaining
+// stall time, computed from the remaining mandatory fetch work.  See doc.go
+// for the admissibility argument; in short, for every disk d the fetches that
+// disk must still perform bound the remaining wall-clock time from below, and
+// subtracting the r remaining requests (which account for the served time
+// units) turns that into a stall bound.
+
+// initHeuristic precomputes the per-position tables the bound is evaluated
+// from: futureMask[p] is the set of block indices referenced at positions
+// >= p, diskMask[d] the blocks residing on disk d, and nextRef a dense
+// (n+1) x numBlocks table of first-reference-at-or-after positions (sentinel
+// n when a block is never referenced again).
+func (s *searcher) initHeuristic() {
+	n := s.n
+	nb := len(s.blocks)
+	s.futureMask = make([]uint64, n+1)
+	for p := n - 1; p >= 0; p-- {
+		s.futureMask[p] = s.futureMask[p+1] | 1<<uint(s.seqIdx[p])
+	}
+	for bi := range s.blocks {
+		s.diskMask[s.diskOf[bi]] |= 1 << uint(bi)
+	}
+	s.nextRef = make([]int32, (n+1)*nb)
+	for bi := 0; bi < nb; bi++ {
+		s.nextRef[n*nb+bi] = int32(n)
+	}
+	for p := n - 1; p >= 0; p-- {
+		copy(s.nextRef[p*nb:(p+1)*nb], s.nextRef[(p+1)*nb:(p+2)*nb])
+		s.nextRef[p*nb+int(s.seqIdx[p])] = int32(p)
+	}
+}
+
+// nextRefAt returns the first position >= p at which block index bi is
+// referenced, or n if there is none.
+func (s *searcher) nextRefAt(bi, p int) int {
+	return int(s.nextRef[p*len(s.blocks)+bi])
+}
+
+// heuristic computes h for a state.  With NoHeuristic set it returns 0, which
+// reduces the search to uniform-cost (Dijkstra) order.
+func (s *searcher) heuristic(key *stateKey) int32 {
+	if s.opts.NoHeuristic {
+		return 0
+	}
+	served := int(key.served)
+	r := s.n - served
+	future := s.futureMask[served]
+	var inflight uint64
+	for d := 0; d < s.in.Disks; d++ {
+		if key.flights[d] != 0 {
+			inflight |= 1 << uint(flightBlock(key.flights[d]))
+		}
+	}
+	missing := future &^ (key.cache | inflight)
+	best := 0
+	for d := 0; d < s.in.Disks; d++ {
+		rem := 0
+		fb := -1
+		if key.flights[d] != 0 {
+			rem = flightRemaining(key.flights[d])
+			fb = flightBlock(key.flights[d])
+		}
+		t := 0
+		if dm := missing & s.diskMask[d]; dm != 0 {
+			// Disk d must still fetch the m distinct future-referenced blocks
+			// in dm, sequentially, after finishing its current fetch; the
+			// block fetched last has its first future reference served only
+			// after its fetch completes.  The scheduler can postpone at most
+			// the latest-referenced block, so n - maxRef residual serves
+			// remain after the final completion.
+			m := bits.OnesCount64(dm)
+			maxRef := 0
+			for mm := dm; mm != 0; mm &= mm - 1 {
+				if ref := s.nextRefAt(bits.TrailingZeros64(mm), served); ref > maxRef {
+					maxRef = ref
+				}
+			}
+			t = rem + m*s.in.F + (s.n - maxRef)
+		}
+		if fb >= 0 && future&(1<<uint(fb)) != 0 {
+			// The in-flight block itself is still needed: its first future
+			// reference is served only after the fetch's remaining rem units.
+			if t2 := rem + (s.n - s.nextRefAt(fb, served)); t2 > t {
+				t = t2
+			}
+		}
+		if t-r > best {
+			best = t - r
+		}
+	}
+	return int32(best)
+}

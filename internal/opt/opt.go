@@ -1,7 +1,6 @@
 package opt
 
 import (
-	"container/heap"
 	"fmt"
 	"math/bits"
 
@@ -19,7 +18,43 @@ const maxBlocks = 64
 // search may create before giving up.
 const DefaultMaxStates = 4_000_000
 
-// Options configures the exhaustive search.
+// BoundMode selects how the branch-and-bound incumbent is seeded.
+type BoundMode int
+
+const (
+	// BoundGreedy (the default) seeds the incumbent with the cheapest of the
+	// greedy schedules (package single's registry for one disk, package
+	// parallel's strategies otherwise) before the search starts.
+	BoundGreedy BoundMode = iota
+	// BoundNone disables incumbent pruning.
+	BoundNone
+)
+
+// String names the bound mode as accepted by ParseBound.
+func (m BoundMode) String() string {
+	switch m {
+	case BoundGreedy:
+		return "greedy"
+	case BoundNone:
+		return "none"
+	default:
+		return fmt.Sprintf("bound(%d)", int(m))
+	}
+}
+
+// ParseBound parses a bound mode name ("greedy" or "none").
+func ParseBound(s string) (BoundMode, error) {
+	switch s {
+	case "greedy":
+		return BoundGreedy, nil
+	case "none":
+		return BoundNone, nil
+	default:
+		return 0, fmt.Errorf("opt: unknown bound mode %q (want greedy or none)", s)
+	}
+}
+
+// Options configures the exact search.
 type Options struct {
 	// ExtraCache is the number of cache locations available beyond the
 	// instance's k.  The paper's sOPT(sigma, k) corresponds to ExtraCache = 0.
@@ -32,9 +67,17 @@ type Options struct {
 	Full bool
 	// MaxStates caps the number of states (0 means DefaultMaxStates).
 	MaxStates int
+	// Bound selects the branch-and-bound incumbent seeding; the zero value
+	// BoundGreedy prunes against the cheapest greedy schedule.
+	Bound BoundMode
+	// NoHeuristic disables the admissible lower bound h, reducing A* to
+	// uniform-cost (Dijkstra) order.  Together with Bound: BoundNone this is
+	// exactly the historical blind search, kept as the reference the property
+	// tests pin the informed search against.
+	NoHeuristic bool
 }
 
-// Result is the outcome of an exhaustive search.
+// Result is the outcome of an exact search.
 type Result struct {
 	// Stall is the minimum total stall time.
 	Stall int
@@ -42,8 +85,31 @@ type Result struct {
 	Elapsed int
 	// Schedule is an optimal schedule realising Stall.
 	Schedule *core.Schedule
-	// StatesExpanded counts the states popped from the priority queue.
+	// StatesExpanded counts the states popped from the priority queue and
+	// expanded.
 	StatesExpanded int
+	// StatesGenerated counts the states produced for relaxation: the root
+	// plus every successor produced by an expansion (including duplicates
+	// and bound-pruned ones), so it is always at least DuplicateHits +
+	// PrunedByBound.
+	StatesGenerated int
+	// PrunedByBound counts successors discarded because g + h reached the
+	// branch-and-bound incumbent.
+	PrunedByBound int
+	// DuplicateHits counts successors that already had a node in the table.
+	DuplicateHits int
+	// PeakTableSize is the number of distinct states materialised.
+	PeakTableSize int
+	// SeedAlgorithm names the greedy schedule seeding the incumbent ("" when
+	// no incumbent was available).
+	SeedAlgorithm string
+	// SeedStall is the incumbent's stall time, or -1 when no incumbent was
+	// available.
+	SeedStall int
+	// SeedOptimal reports that the search proved the incumbent optimal (every
+	// strictly better path was pruned away) and Schedule is the seed schedule
+	// itself.
+	SeedOptimal bool
 }
 
 // TooLargeError reports that the search exceeded its state budget.
@@ -55,10 +121,25 @@ func (e *TooLargeError) Error() string {
 	return fmt.Sprintf("opt: exhaustive search exceeded %d states; the instance is too large", e.States)
 }
 
-// Optimal computes a minimum-stall schedule for the instance by uniform-cost
-// search.  It is exact but exponential in the worst case, so it is intended
-// for the small instances used to validate the approximation algorithms and
-// the linear-programming approach.
+// EncodingLimitError reports an instance parameter exceeding what the packed
+// state encoding can represent.
+type EncodingLimitError struct {
+	// What names the offending parameter ("fetch time F" or "block index").
+	What string
+	// Value is the offending value and Limit the largest supported one.
+	Value, Limit int
+}
+
+func (e *EncodingLimitError) Error() string {
+	return fmt.Sprintf("opt: %s %d exceeds the packed state encoding limit %d", e.What, e.Value, e.Limit)
+}
+
+// Optimal computes a minimum-stall schedule for the instance by A* search
+// with branch-and-bound pruning over system states: an admissible heuristic
+// orders the queue and an incumbent seeded from the greedy schedules prunes
+// provably non-improving states (see doc.go).  It is exact but exponential in
+// the worst case, so it is intended for the instances used to validate the
+// approximation algorithms and the linear-programming approach.
 func Optimal(in *core.Instance, opts Options) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -69,6 +150,12 @@ func Optimal(in *core.Instance, opts Options) (*Result, error) {
 	blocks := in.Blocks()
 	if len(blocks) > maxBlocks {
 		return nil, fmt.Errorf("opt: at most %d distinct blocks supported, got %d", maxBlocks, len(blocks))
+	}
+	if in.F > maxFlightRemaining {
+		return nil, &EncodingLimitError{What: "fetch time F", Value: in.F, Limit: maxFlightRemaining}
+	}
+	if len(blocks)-1 > maxFlightBlock {
+		return nil, &EncodingLimitError{What: "block index", Value: len(blocks) - 1, Limit: maxFlightBlock}
 	}
 	s := newSearcher(in, opts, blocks)
 	return s.run()
@@ -83,61 +170,72 @@ func OptimalStall(in *core.Instance, opts Options) (int, error) {
 	return r.Stall, nil
 }
 
-// stateKey identifies a search state: the cursor position, the resident set,
-// and for every disk the block being fetched (plus one) and its remaining
-// fetch time.
-type stateKey struct {
-	served  int32
-	cache   uint64
-	flights [maxDisks]uint16
-}
-
 // fetchAction records one fetch initiation on a transition, for schedule
 // reconstruction.
 type fetchAction struct {
 	disk   int
 	block  int // block index
-	victim int // block index, or -1 for a free location
+	victim int // block index, or freeLocation for a free cache location
 }
 
-// nodeInfo is the bookkeeping attached to each reached state.
-type nodeInfo struct {
-	cost      int
-	parent    stateKey
-	hasParent bool
-	anchor    int // requests served when the transition's fetches were initiated
-	fetches   []fetchAction
-}
+// freeLocation is the victim sentinel meaning "use a free cache location".
+const freeLocation = -1
 
 type searcher struct {
 	in     *core.Instance
 	opts   Options
-	ix     *core.Index
 	blocks []core.BlockID
 	idxOf  map[core.BlockID]int
-	diskOf []int // per block index
-	cap    int   // cache capacity including extra locations
+	seqIdx []int32 // per request position, the block index requested
+	diskOf []int   // per block index
+	cap    int     // cache capacity including extra locations
+	n      int
 
-	nodes map[stateKey]*nodeInfo
-	queue *costQueue
+	// Heuristic tables (see heuristic.go).
+	futureMask []uint64
+	diskMask   [maxDisks]uint64
+	nextRef    []int32
+
+	// Branch-and-bound incumbent (see seed.go); incumbent < 0 means none.
+	incumbent int
+	seedName  string
+	seedStall int
+	seedSched *core.Schedule
+
+	// Memory layer (see table.go) and queue (see bucket.go).
+	nodes   nodeArena
+	table   nodeTable
+	fetches []fetchAction // shared arena of transition fetch records
+	queue   bucketQueue
+
+	expanded  int
+	generated int
+	pruned    int
+	dupHits   int
 }
 
 func newSearcher(in *core.Instance, opts Options, blocks []core.BlockID) *searcher {
 	s := &searcher{
-		in:     in,
-		opts:   opts,
-		ix:     core.NewIndex(in.Seq),
-		blocks: blocks,
-		idxOf:  make(map[core.BlockID]int, len(blocks)),
-		diskOf: make([]int, len(blocks)),
-		cap:    in.K + opts.ExtraCache,
-		nodes:  make(map[stateKey]*nodeInfo),
-		queue:  &costQueue{},
+		in:        in,
+		opts:      opts,
+		blocks:    blocks,
+		idxOf:     make(map[core.BlockID]int, len(blocks)),
+		seqIdx:    make([]int32, in.N()),
+		diskOf:    make([]int, len(blocks)),
+		cap:       in.K + opts.ExtraCache,
+		n:         in.N(),
+		incumbent: -1,
+		nodes:     newNodeArena(),
+		table:     newNodeTable(),
 	}
 	for i, b := range blocks {
 		s.idxOf[b] = i
 		s.diskOf[i] = in.Disk(b)
 	}
+	for p, b := range in.Seq {
+		s.seqIdx[p] = int32(s.idxOf[b])
+	}
+	s.initHeuristic()
 	return s
 }
 
@@ -148,13 +246,6 @@ func (s *searcher) maxStates() int {
 	return DefaultMaxStates
 }
 
-// flight encoding helpers.
-
-func flightOf(block, remaining int) uint16 { return uint16(block+1)<<8 | uint16(remaining) }
-
-func flightBlock(f uint16) int     { return int(f>>8) - 1 }
-func flightRemaining(f uint16) int { return int(f & 0xff) }
-
 func (s *searcher) initialKey() stateKey {
 	var key stateKey
 	for _, b := range s.in.InitialCache {
@@ -163,47 +254,83 @@ func (s *searcher) initialKey() stateKey {
 	return key
 }
 
+// result assembles a Result carrying the search counters.
+func (s *searcher) result(stall int, sched *core.Schedule, seedOptimal bool) *Result {
+	seedStall := -1
+	if s.seedSched != nil {
+		seedStall = s.seedStall
+	}
+	return &Result{
+		Stall:           stall,
+		Elapsed:         s.n + stall,
+		Schedule:        sched,
+		StatesExpanded:  s.expanded,
+		StatesGenerated: s.generated,
+		PrunedByBound:   s.pruned,
+		DuplicateHits:   s.dupHits,
+		PeakTableSize:   s.table.count,
+		SeedAlgorithm:   s.seedName,
+		SeedStall:       seedStall,
+		SeedOptimal:     seedOptimal,
+	}
+}
+
 func (s *searcher) run() (*Result, error) {
+	defer s.recordStats()
+	if s.opts.Bound == BoundGreedy {
+		s.seedIncumbent()
+	}
 	start := s.initialKey()
-	s.nodes[start] = &nodeInfo{cost: 0}
-	heap.Push(s.queue, costItem{key: start, cost: 0})
-	n := s.in.N()
-	expanded := 0
-	for s.queue.Len() > 0 {
-		item := heap.Pop(s.queue).(costItem)
-		info := s.nodes[item.key]
-		if info == nil || item.cost > info.cost {
-			continue // stale queue entry
+	h0 := s.heuristic(&start)
+	s.generated++
+	if s.incumbent >= 0 && int(h0) >= s.incumbent {
+		// Even the root's lower bound reaches the incumbent: the seed is
+		// optimal without expanding a single state.
+		s.pruned++
+		return s.result(s.seedStall, s.seedSched.Clone(), true), nil
+	}
+	rootIdx := s.nodes.alloc()
+	root := &s.nodes.recs[rootIdx]
+	root.key = start
+	root.h = h0
+	s.table.put(&start, rootIdx)
+	s.queue.push(int(h0), rootIdx)
+	for {
+		idx, f, ok := s.queue.pop()
+		if !ok {
+			break
 		}
-		expanded++
-		if int(item.key.served) == n {
-			sched := s.reconstruct(item.key)
-			return &Result{
-				Stall:          info.cost,
-				Elapsed:        n + info.cost,
-				Schedule:       sched,
-				StatesExpanded: expanded,
-			}, nil
+		rec := &s.nodes.recs[idx]
+		if rec.closed || int(rec.g)+int(rec.h) != f {
+			continue // stale queue entry (node expanded or reopened at lower cost)
 		}
-		s.expand(item.key, info)
-		if len(s.nodes) > s.maxStates() {
+		rec.closed = true
+		s.expanded++
+		key := rec.key
+		if int(key.served) == s.n {
+			return s.result(int(rec.g), s.reconstruct(idx), false), nil
+		}
+		s.expand(idx, &key)
+		if s.table.count > s.maxStates() {
 			return nil, &TooLargeError{States: s.maxStates()}
 		}
+	}
+	if s.seedSched != nil {
+		// Every path was pruned against the incumbent, proving it optimal.
+		return s.result(s.seedStall, s.seedSched.Clone(), true), nil
 	}
 	return nil, fmt.Errorf("opt: search exhausted without serving every request (internal error)")
 }
 
-// expand generates the successors of a state.
-func (s *searcher) expand(key stateKey, info *nodeInfo) {
-	// Enumerate fetch-initiation combinations over idle disks, then advance.
-	var combo []fetchAction
-	s.enumerate(key, 0, key.cache, s.inFlightMask(key), combo, func(fetches []fetchAction, cache uint64, flights [maxDisks]uint16) {
-		s.advance(key, info, fetches, cache, flights)
-	})
+// expand generates the successors of a state: every combination of fetch
+// initiations over idle disks, each followed by the serve-or-stall step.
+func (s *searcher) expand(idx int32, key *stateKey) {
+	var acc [maxDisks]fetchAction
+	s.enumerate(idx, key, 0, 0, key.cache, s.inFlightMask(key), &acc)
 }
 
 // inFlightMask returns the mask of blocks currently being fetched.
-func (s *searcher) inFlightMask(key stateKey) uint64 {
+func (s *searcher) inFlightMask(key *stateKey) uint64 {
 	var m uint64
 	for d := 0; d < s.in.Disks; d++ {
 		if key.flights[d] != 0 {
@@ -214,64 +341,105 @@ func (s *searcher) inFlightMask(key stateKey) uint64 {
 }
 
 // enumerate recursively chooses, for each idle disk, whether and what to
-// fetch, and calls emit for every combination.  cache and inflight are the
-// working copies reflecting the choices made for disks < d.
-func (s *searcher) enumerate(key stateKey, d int, cache uint64, inflight uint64, acc []fetchAction, emit func([]fetchAction, uint64, [maxDisks]uint16)) {
+// fetch, and applies the serve-or-stall step for every combination.  cache
+// and inflight are the working copies reflecting the choices made for disks
+// < d; the chosen fetches live in acc[:nacc].
+func (s *searcher) enumerate(idx int32, key *stateKey, d, nacc int, cache, inflight uint64, acc *[maxDisks]fetchAction) {
 	if d == s.in.Disks {
 		flights := key.flights
-		for _, fa := range acc {
-			flights[fa.disk] = flightOf(fa.block, s.in.F)
+		for i := 0; i < nacc; i++ {
+			flights[acc[i].disk] = flightOf(acc[i].block, s.in.F)
 		}
-		emit(acc, cache, flights)
+		s.advance(idx, key, acc[:nacc], cache, flights)
 		return
 	}
 	// Option 1: no new fetch on disk d.
-	s.enumerate(key, d+1, cache, inflight, acc, emit)
+	s.enumerate(idx, key, d+1, nacc, cache, inflight, acc)
 	if key.flights[d] != 0 {
 		return // disk busy: no other option
 	}
 	served := int(key.served)
 	free := s.cap - bits.OnesCount64(cache) - bits.OnesCount64(inflight)
-	for _, block := range s.fetchCandidates(d, served, cache, inflight) {
-		for _, victim := range s.victimCandidates(served, cache, free) {
+	if !s.opts.Full {
+		// Pruned mode: fetch the earliest-referenced missing block on disk d
+		// (if any) and evict a furthest-referenced cached block.
+		bi := s.earliestMissingOnDisk(d, served, cache|inflight)
+		if bi < 0 {
+			return
+		}
+		victim, ok := s.prunedVictim(served, cache, free)
+		if !ok {
+			return
+		}
+		newCache := cache
+		if victim >= 0 {
+			newCache &^= 1 << uint(victim)
+		}
+		acc[nacc] = fetchAction{disk: d, block: bi, victim: victim}
+		s.enumerate(idx, key, d+1, nacc+1, newCache, inflight|1<<uint(bi), acc)
+		return
+	}
+	for _, bi := range s.fullFetchCandidates(d, served, cache|inflight) {
+		for _, victim := range s.fullVictimCandidates(cache, free) {
 			newCache := cache
 			if victim >= 0 {
 				newCache &^= 1 << uint(victim)
 			}
-			fa := fetchAction{disk: d, block: block, victim: victim}
-			s.enumerate(key, d+1, newCache, inflight|1<<uint(block), append(acc, fa), emit)
+			acc[nacc] = fetchAction{disk: d, block: bi, victim: victim}
+			s.enumerate(idx, key, d+1, nacc+1, newCache, inflight|1<<uint(bi), acc)
 		}
 	}
 }
 
-// fetchCandidates returns the block indices that may be fetched on disk d in
-// the current state.  In pruned mode it is just the missing block on disk d
-// with the earliest next reference; in full mode it is every missing block on
-// disk d that is still referenced.
-func (s *searcher) fetchCandidates(d, served int, cache, inflight uint64) []int {
-	n := s.in.N()
-	if !s.opts.Full {
-		for p := served; p < n; p++ {
-			bi := s.idxOf[s.in.Seq[p]]
-			if s.diskOf[bi] != d {
-				continue
-			}
-			if cache&(1<<uint(bi)) != 0 || inflight&(1<<uint(bi)) != 0 {
-				continue
-			}
-			return []int{bi}
-		}
-		return nil
-	}
-	seen := make(map[int]bool)
-	var out []int
-	for p := served; p < n; p++ {
-		bi := s.idxOf[s.in.Seq[p]]
-		if s.diskOf[bi] != d || seen[bi] {
+// earliestMissingOnDisk returns the block index of the missing block on disk
+// d with the earliest next reference at or after served, or -1 if there is
+// none.  resident is the union of the cached and in-flight masks.
+func (s *searcher) earliestMissingOnDisk(d, served int, resident uint64) int {
+	for p := served; p < s.n; p++ {
+		bi := int(s.seqIdx[p])
+		if s.diskOf[bi] != d || resident&(1<<uint(bi)) != 0 {
 			continue
 		}
-		seen[bi] = true
-		if cache&(1<<uint(bi)) != 0 || inflight&(1<<uint(bi)) != 0 {
+		return bi
+	}
+	return -1
+}
+
+// prunedVictim returns the eviction choice of the pruned branching:
+// freeLocation when a free location is available (always preferred; using a
+// free location never hurts), and otherwise a cached block whose next
+// reference is furthest in the future.  ok is false when no choice exists.
+func (s *searcher) prunedVictim(served int, cache uint64, free int) (int, bool) {
+	if free > 0 {
+		return freeLocation, true
+	}
+	if cache == 0 {
+		return 0, false
+	}
+	best := -1
+	bestRef := -1
+	for m := cache; m != 0; m &= m - 1 {
+		bi := bits.TrailingZeros64(m)
+		ref := s.nextRefAt(bi, served)
+		if ref > bestRef {
+			best, bestRef = bi, ref
+		}
+	}
+	return best, true
+}
+
+// fullFetchCandidates returns every missing, still-referenced block on disk d
+// in order of next reference (full branching mode only).
+func (s *searcher) fullFetchCandidates(d, served int, resident uint64) []int {
+	var seen uint64
+	var out []int
+	for p := served; p < s.n; p++ {
+		bi := int(s.seqIdx[p])
+		if s.diskOf[bi] != d || seen&(1<<uint(bi)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(bi)
+		if resident&(1<<uint(bi)) != 0 {
 			continue
 		}
 		out = append(out, bi)
@@ -279,51 +447,29 @@ func (s *searcher) fetchCandidates(d, served int, cache, inflight uint64) []int 
 	return out
 }
 
-// victimCandidates returns the eviction choices: -1 for a free location when
-// one is available (always preferred; using a free location never hurts), and
-// otherwise cached blocks.  In pruned mode only a furthest-referenced cached
-// block is considered.
-func (s *searcher) victimCandidates(served int, cache uint64, free int) []int {
+// fullVictimCandidates returns every eviction choice of the full branching
+// mode: a free location when available, otherwise every cached block.
+func (s *searcher) fullVictimCandidates(cache uint64, free int) []int {
 	if free > 0 {
-		return []int{-1}
-	}
-	if cache == 0 {
-		return nil
-	}
-	if !s.opts.Full {
-		best := -1
-		bestRef := -1
-		for bi := 0; bi < len(s.blocks); bi++ {
-			if cache&(1<<uint(bi)) == 0 {
-				continue
-			}
-			ref := s.ix.NextAt(s.blocks[bi], served)
-			if best == -1 || ref > bestRef || (ref == bestRef && bi < best) {
-				best, bestRef = bi, ref
-			}
-		}
-		return []int{best}
+		return []int{freeLocation}
 	}
 	var out []int
-	for bi := 0; bi < len(s.blocks); bi++ {
-		if cache&(1<<uint(bi)) != 0 {
-			out = append(out, bi)
-		}
+	for m := cache; m != 0; m &= m - 1 {
+		out = append(out, bits.TrailingZeros64(m))
 	}
 	return out
 }
 
 // advance applies the serve-or-stall step to the state obtained after the
-// fetch initiations and records the successor.
-func (s *searcher) advance(key stateKey, info *nodeInfo, fetches []fetchAction, cache uint64, flights [maxDisks]uint16) {
+// fetch initiations and relaxes the successor.
+func (s *searcher) advance(idx int32, key *stateKey, fetches []fetchAction, cache uint64, flights [maxDisks]uint16) {
 	served := int(key.served)
-	b := s.in.Seq[served]
-	bi := s.idxOf[b]
+	bi := int(s.seqIdx[served])
 	if cache&(1<<uint(bi)) != 0 {
 		// Serve the request: one time unit passes.
 		nc, nf := tick(cache, flights, 1, s.in.Disks)
-		next := stateKey{served: int32(served + 1), cache: nc, flights: nf}
-		s.relax(key, info, next, 0, served, fetches)
+		next := stateKey{served: key.served + 1, cache: nc, flights: nf}
+		s.relax(idx, &next, 0, served, fetches)
 		return
 	}
 	// The requested block is missing: stall until the earliest completion.
@@ -341,65 +487,70 @@ func (s *searcher) advance(key stateKey, info *nodeInfo, fetches []fetchAction, 
 		return // nothing in flight: this branch can never serve the request
 	}
 	nc, nf := tick(cache, flights, minRem, s.in.Disks)
-	next := stateKey{served: int32(served), cache: nc, flights: nf}
-	s.relax(key, info, next, minRem, served, fetches)
+	next := stateKey{served: key.served, cache: nc, flights: nf}
+	s.relax(idx, &next, minRem, served, fetches)
 }
 
-// tick advances every in-flight fetch by delta time units, delivering
-// completed blocks into the cache.
-func tick(cache uint64, flights [maxDisks]uint16, delta, disks int) (uint64, [maxDisks]uint16) {
-	for d := 0; d < disks; d++ {
-		if flights[d] == 0 {
-			continue
-		}
-		r := flightRemaining(flights[d])
-		if r <= delta {
-			cache |= 1 << uint(flightBlock(flights[d]))
-			flights[d] = 0
-		} else {
-			flights[d] = flightOf(flightBlock(flights[d]), r-delta)
-		}
+// saveFetches copies the transition's fetch actions into the shared arena.
+func (s *searcher) saveFetches(fetches []fetchAction) (int32, uint16) {
+	if len(fetches) == 0 {
+		return 0, 0
 	}
-	return cache, flights
+	off := int32(len(s.fetches))
+	s.fetches = append(s.fetches, fetches...)
+	return off, uint16(len(fetches))
 }
 
-// relax performs the Dijkstra relaxation step for the edge key -> next.
-func (s *searcher) relax(key stateKey, info *nodeInfo, next stateKey, cost, anchor int, fetches []fetchAction) {
-	newCost := info.cost + cost
-	if existing, ok := s.nodes[next]; ok && existing.cost <= newCost {
+// relax performs the A* relaxation for the edge parent -> next with the given
+// stall cost, pruning against the incumbent and reopening closed nodes whose
+// cost improves (the heuristic is admissible but not consistent).
+func (s *searcher) relax(parent int32, next *stateKey, cost, anchor int, fetches []fetchAction) {
+	s.generated++
+	newG := s.nodes.recs[parent].g + int32(cost)
+	if idx := s.table.get(next); idx != 0 {
+		s.dupHits++
+		rec := &s.nodes.recs[idx]
+		if rec.g <= newG {
+			return
+		}
+		// No incumbent check here: the node passed g + h < incumbent when it
+		// was inserted, and newG is smaller still.
+		rec.g = newG
+		rec.parent = parent
+		rec.anchor = int32(anchor)
+		rec.fetchOff, rec.fetchCnt = s.saveFetches(fetches)
+		rec.closed = false
+		s.queue.push(int(newG)+int(rec.h), idx)
 		return
 	}
-	var fcopy []fetchAction
-	if len(fetches) > 0 {
-		fcopy = make([]fetchAction, len(fetches))
-		copy(fcopy, fetches)
+	h := s.heuristic(next)
+	if s.incumbent >= 0 && int(newG)+int(h) >= s.incumbent {
+		s.pruned++
+		return
 	}
-	s.nodes[next] = &nodeInfo{
-		cost:      newCost,
-		parent:    key,
-		hasParent: true,
-		anchor:    anchor,
-		fetches:   fcopy,
-	}
-	heap.Push(s.queue, costItem{key: next, cost: newCost})
+	fetchOff, fetchCnt := s.saveFetches(fetches)
+	idx := s.nodes.alloc()
+	rec := &s.nodes.recs[idx]
+	rec.key = *next
+	rec.g = newG
+	rec.h = h
+	rec.parent = parent
+	rec.anchor = int32(anchor)
+	rec.fetchOff, rec.fetchCnt = fetchOff, fetchCnt
+	s.table.put(next, idx)
+	s.queue.push(int(newG)+int(h), idx)
 }
 
-// reconstruct rebuilds an optimal schedule by walking parent pointers from
-// the goal state.
-func (s *searcher) reconstruct(goal stateKey) *core.Schedule {
-	var chain []*nodeInfo
-	key := goal
-	for {
-		info := s.nodes[key]
-		chain = append(chain, info)
-		if !info.hasParent {
-			break
-		}
-		key = info.parent
+// reconstruct rebuilds an optimal schedule by walking parent links from the
+// goal node.
+func (s *searcher) reconstruct(goal int32) *core.Schedule {
+	var chain []int32
+	for idx := goal; idx != 0; idx = s.nodes.recs[idx].parent {
+		chain = append(chain, idx)
 	}
 	sched := &core.Schedule{}
 	for i := len(chain) - 1; i >= 0; i-- {
-		info := chain[i]
+		rec := &s.nodes.recs[chain[i]]
 		// The wall-clock time at which this transition's fetches were
 		// initiated is the parent's cursor position plus the stall paid so
 		// far; recording it as MinTime pins cross-disk dependencies (a fetch
@@ -407,39 +558,18 @@ func (s *searcher) reconstruct(goal stateKey) *core.Schedule {
 		// earlier when the schedule is replayed).
 		var minTime int
 		if i+1 < len(chain) {
-			parent := chain[i+1]
-			minTime = int(info.parent.served) + parent.cost
+			parent := &s.nodes.recs[chain[i+1]]
+			minTime = int(parent.key.served) + int(parent.g)
 		}
-		for _, fa := range info.fetches {
+		for _, fa := range s.fetches[rec.fetchOff : rec.fetchOff+int32(rec.fetchCnt)] {
 			evict := core.NoBlock
 			if fa.victim >= 0 {
 				evict = s.blocks[fa.victim]
 			}
-			f := core.NewFetch(fa.disk, info.anchor, s.blocks[fa.block], evict)
+			f := core.NewFetch(fa.disk, int(rec.anchor), s.blocks[fa.block], evict)
 			f.MinTime = minTime
 			sched.Append(f)
 		}
 	}
 	return sched
-}
-
-// costItem and costQueue implement the priority queue for Dijkstra's
-// algorithm.
-type costItem struct {
-	key  stateKey
-	cost int
-}
-
-type costQueue []costItem
-
-func (q costQueue) Len() int            { return len(q) }
-func (q costQueue) Less(i, j int) bool  { return q[i].cost < q[j].cost }
-func (q costQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *costQueue) Push(x interface{}) { *q = append(*q, x.(costItem)) }
-func (q *costQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
 }

@@ -193,8 +193,8 @@ func TestOptimalParallelFeasibleAndConsistent(t *testing.T) {
 		if extra.Stall > base.Stall {
 			t.Fatalf("trial %d: extra cache increased optimal stall (%d > %d)", trial, extra.Stall, base.Stall)
 		}
-		if base.StatesExpanded <= 0 {
-			t.Fatalf("trial %d: no states expanded", trial)
+		if base.StatesExpanded <= 0 && !base.SeedOptimal {
+			t.Fatalf("trial %d: no states expanded and no seed proved optimal", trial)
 		}
 	}
 }
@@ -243,7 +243,9 @@ func TestSequentialScanNeedsNoStallWithPrefetch(t *testing.T) {
 func TestTooLarge(t *testing.T) {
 	seq := workload.Uniform(40, 12, 1)
 	in := core.SingleDisk(seq, 6, 4)
-	_, err := Optimal(in, Options{MaxStates: 50})
+	// The blind reference search materialises states fastest; the informed
+	// engine could in principle solve this instance within the budget.
+	_, err := Optimal(in, Options{MaxStates: 50, Bound: BoundNone, NoHeuristic: true})
 	var tooLarge *TooLargeError
 	if !errors.As(err, &tooLarge) {
 		t.Fatalf("error = %v, want TooLargeError", err)

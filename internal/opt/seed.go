@@ -1,0 +1,59 @@
+package opt
+
+import (
+	"pfcache/internal/core"
+	"pfcache/internal/parallel"
+	"pfcache/internal/sim"
+	"pfcache/internal/single"
+)
+
+// Incumbent seeding for branch-and-bound: before the search starts, the
+// existing greedy algorithms produce feasible schedules whose executed stall
+// times are upper bounds on the optimum.  The cheapest one becomes the
+// incumbent; any state with g + h >= incumbent can be pruned, and if the
+// search prunes every path (the incumbent is already optimal) the seed
+// schedule itself is returned.
+//
+// The seeds run on the instance's nominal cache size k, while the search may
+// be granted ExtraCache additional locations; the bound remains valid because
+// extra cache never increases the optimal stall time.
+
+// seedCandidate is one greedy schedule considered for the incumbent.
+type seedCandidate struct {
+	name string
+	run  func(*core.Instance) (*core.Schedule, error)
+}
+
+// seedIncumbent evaluates the greedy seed schedules and installs the cheapest
+// feasible one as the incumbent.  Seeds that fail to produce or execute a
+// schedule are skipped; with no surviving seed the search runs unpruned.
+func (s *searcher) seedIncumbent() {
+	var cands []seedCandidate
+	if s.in.Disks == 1 {
+		for _, a := range single.BoundSeeds() {
+			cands = append(cands, seedCandidate{name: "single/" + a.Name, run: a.Run})
+		}
+	} else {
+		for _, a := range parallel.BoundSeeds() {
+			cands = append(cands, seedCandidate{name: "parallel/" + a.Name, run: a.Run})
+		}
+	}
+	for _, c := range cands {
+		sched, err := c.run(s.in)
+		if err != nil {
+			continue
+		}
+		res, err := sim.Run(s.in, sched, sim.Options{})
+		if err != nil {
+			continue
+		}
+		if s.seedSched == nil || res.Stall < s.seedStall {
+			s.seedSched = sched
+			s.seedStall = res.Stall
+			s.seedName = c.name
+		}
+	}
+	if s.seedSched != nil {
+		s.incumbent = s.seedStall
+	}
+}

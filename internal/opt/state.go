@@ -1,0 +1,71 @@
+package opt
+
+// stateKey identifies a search state: the cursor position, the resident set,
+// and for every disk the block being fetched (plus one) and its remaining
+// fetch time.  The key is a fixed-size value with no pointers, so it can be
+// stored directly in the open-addressing node table and compared with ==.
+type stateKey struct {
+	served  int32
+	cache   uint64
+	flights [maxDisks]uint16
+}
+
+// Flight encoding: a non-idle disk's uint16 holds the fetched block's index
+// plus one in the high byte and the remaining fetch time in the low byte.
+// Zero is the idle sentinel.  The packing caps the representable values;
+// Optimal validates an instance against these limits up front and returns an
+// *EncodingLimitError instead of silently corrupting states.
+const (
+	// maxFlightRemaining is the largest remaining fetch time (hence the
+	// largest instance F) the low byte can hold.
+	maxFlightRemaining = 255
+	// maxFlightBlock is the largest block index the high byte can hold
+	// (block+1 must fit in 8 bits).  maxBlocks keeps indices well below this,
+	// but the limit is enforced independently so the encoding can never
+	// overflow even if maxBlocks grows.
+	maxFlightBlock = 254
+)
+
+func flightOf(block, remaining int) uint16 { return uint16(block+1)<<8 | uint16(remaining) }
+
+func flightBlock(f uint16) int     { return int(f>>8) - 1 }
+func flightRemaining(f uint16) int { return int(f & 0xff) }
+
+// hash mixes the state into a 64-bit value for the open-addressing table.
+// The flights array is packed into two words; each word is folded in with a
+// multiply-xor-shift round (splitmix-style), which is cheap and spreads the
+// small integers of the key across the high bits that the table mask uses.
+func (k *stateKey) hash() uint64 {
+	const m1 = 0x9E3779B97F4A7C15
+	const m2 = 0xBF58476D1CE4E5B9
+	flo := uint64(k.flights[0]) | uint64(k.flights[1])<<16 |
+		uint64(k.flights[2])<<32 | uint64(k.flights[3])<<48
+	fhi := uint64(k.flights[4]) | uint64(k.flights[5])<<16 |
+		uint64(k.flights[6])<<32 | uint64(k.flights[7])<<48
+	h := (uint64(uint32(k.served)) + 1) * m1
+	h = (h ^ k.cache) * m2
+	h ^= h >> 29
+	h = (h ^ flo) * m1
+	h ^= h >> 31
+	h = (h ^ fhi) * m2
+	h ^= h >> 32
+	return h
+}
+
+// tick advances every in-flight fetch by delta time units, delivering
+// completed blocks into the cache.
+func tick(cache uint64, flights [maxDisks]uint16, delta, disks int) (uint64, [maxDisks]uint16) {
+	for d := 0; d < disks; d++ {
+		if flights[d] == 0 {
+			continue
+		}
+		r := flightRemaining(flights[d])
+		if r <= delta {
+			cache |= 1 << uint(flightBlock(flights[d]))
+			flights[d] = 0
+		} else {
+			flights[d] = flightOf(flightBlock(flights[d]), r-delta)
+		}
+	}
+	return cache, flights
+}

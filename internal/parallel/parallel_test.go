@@ -1,4 +1,4 @@
-package parallel
+package parallel_test
 
 import (
 	"math/rand"
@@ -6,6 +6,7 @@ import (
 
 	"pfcache/internal/core"
 	"pfcache/internal/opt"
+	"pfcache/internal/parallel"
 	"pfcache/internal/sim"
 	"pfcache/internal/workload"
 )
@@ -31,7 +32,7 @@ func mustRun(t *testing.T, in *core.Instance, sched *core.Schedule) *sim.Result 
 // c3 one request later evicting b2, and the total stall time is 3.
 func TestAggressiveIntroParallel(t *testing.T) {
 	in := introParallelInstance()
-	sched, err := Aggressive(in)
+	sched, err := parallel.Aggressive(in)
 	if err != nil {
 		t.Fatalf("Aggressive: %v", err)
 	}
@@ -56,12 +57,12 @@ func TestAggressiveIntroParallel(t *testing.T) {
 // ordering of the other baselines on the worked example.
 func TestConservativeAndDemandIntroParallel(t *testing.T) {
 	in := introParallelInstance()
-	cons, err := Conservative(in)
+	cons, err := parallel.Conservative(in)
 	if err != nil {
 		t.Fatalf("Conservative: %v", err)
 	}
 	cres := mustRun(t, in, cons)
-	dem, err := Demand(in)
+	dem, err := parallel.Demand(in)
 	if err != nil {
 		t.Fatalf("Demand: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestConservativeAndDemandIntroParallel(t *testing.T) {
 // example: stall at most the optimum (3) and extra cache within 2(D-1).
 func TestLPOptimalIntroParallel(t *testing.T) {
 	in := introParallelInstance()
-	res, err := LPOptimal(in)
+	res, err := parallel.LPOptimal(in)
 	if err != nil {
 		t.Fatalf("LPOptimal: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestParallelAlgorithmsFeasibleOnRandomWorkloads(t *testing.T) {
 		if err != nil {
 			t.Fatalf("opt: %v", err)
 		}
-		lpRes, err := LPOptimal(in)
+		lpRes, err := parallel.LPOptimal(in)
 		if err != nil {
 			t.Fatalf("LPOptimal: %v", err)
 		}
@@ -124,7 +125,7 @@ func TestParallelAlgorithmsFeasibleOnRandomWorkloads(t *testing.T) {
 			t.Errorf("trial %d: LP-optimal extra cache %d exceeds 2(D-1)=%d", trial, lpRes.ExtraCache, 2*(disks-1))
 		}
 
-		for _, a := range []Algorithm{{"aggressive", Aggressive}, {"conservative", Conservative}, {"demand", Demand}} {
+		for _, a := range []parallel.Algorithm{{Name: "aggressive", Run: parallel.Aggressive}, {Name: "conservative", Run: parallel.Conservative}, {Name: "demand", Run: parallel.Demand}} {
 			sched, err := a.Run(in)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, a.Name, err)
@@ -148,7 +149,7 @@ func TestParallelAlgorithmsFeasibleOnRandomWorkloads(t *testing.T) {
 func TestSingleDiskDegenerateCase(t *testing.T) {
 	seq := workload.Zipf(60, 8, 1.0, 3)
 	in := core.SingleDisk(seq, 4, 3)
-	for _, a := range Algorithms() {
+	for _, a := range parallel.Algorithms() {
 		sched, err := a.Run(in)
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name, err)
@@ -160,11 +161,11 @@ func TestSingleDiskDegenerateCase(t *testing.T) {
 // TestByName exercises the registry.
 func TestByName(t *testing.T) {
 	for _, name := range []string{"lp-optimal", "aggressive", "conservative", "demand"} {
-		if _, err := ByName(name); err != nil {
+		if _, err := parallel.ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
 	}
-	if _, err := ByName("nope"); err == nil {
+	if _, err := parallel.ByName("nope"); err == nil {
 		t.Errorf("unknown algorithm accepted")
 	}
 }
@@ -172,20 +173,20 @@ func TestByName(t *testing.T) {
 // TestInvalidInstanceRejected checks validation.
 func TestInvalidInstanceRejected(t *testing.T) {
 	bad := core.SingleDisk(core.Sequence{0}, 0, 1)
-	if _, err := Aggressive(bad); err == nil {
+	if _, err := parallel.Aggressive(bad); err == nil {
 		t.Errorf("Aggressive accepted an invalid instance")
 	}
-	if _, err := Conservative(bad); err == nil {
+	if _, err := parallel.Conservative(bad); err == nil {
 		t.Errorf("Conservative accepted an invalid instance")
 	}
-	if _, err := Demand(bad); err == nil {
+	if _, err := parallel.Demand(bad); err == nil {
 		t.Errorf("Demand accepted an invalid instance")
 	}
-	var e *ErrNotParallel
-	_, err := Aggressive(bad)
+	var e *parallel.ErrNotParallel
+	_, err := parallel.Aggressive(bad)
 	if err != nil {
 		var ok bool
-		e, ok = err.(*ErrNotParallel)
+		e, ok = err.(*parallel.ErrNotParallel)
 		if !ok || e.Error() == "" || e.Unwrap() == nil {
 			t.Errorf("unexpected error type %T", err)
 		}

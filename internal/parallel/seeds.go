@@ -1,0 +1,18 @@
+package parallel
+
+// BoundSeeds returns the algorithms whose schedules seed the branch-and-bound
+// incumbent of the exact search in package opt for multi-disk instances: the
+// greedy strategies that need no LP solve (Aggressive, Conservative and the
+// demand baseline).  Every schedule they produce is feasible within the
+// nominal cache size k, so its executed stall time is an upper bound on the
+// optimal stall time — also for searches granted extra cache locations, which
+// never increase the optimum.  The LP pipeline is deliberately excluded: the
+// exact search is the independent ground truth the LP results are validated
+// against, so it must not depend on them.
+func BoundSeeds() []Algorithm {
+	return []Algorithm{
+		{Name: "aggressive", Run: Aggressive},
+		{Name: "conservative", Run: Conservative},
+		{Name: "demand", Run: Demand},
+	}
+}

@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
-# Allocation-regression guard: the pooled LP solve paths (reused Solver, see
-# BenchmarkLPSolveRevised / BenchmarkLPSolveFlat) must stay O(1) allocs per
-# solve — that property is what keeps the E7/E8 sweeps allocation-free in
-# steady state.  Runs the benchmarks once (-benchtime 1x; they warm the
-# solver up before the timer) and fails if allocs/op exceeds MAX_ALLOCS.
+# Allocation-regression guard for the two hot paths:
+#
+#  * The pooled LP solve paths (reused Solver, see BenchmarkLPSolveRevised /
+#    BenchmarkLPSolveFlat) must stay O(1) allocs per solve — that property is
+#    what keeps the E7/E8 sweeps allocation-free in steady state.
+#  * The exact-search engine (BenchmarkOptSearchAStar*) must keep its flat
+#    arena + open-addressing memory layer: its allocs/op on a fixed instance
+#    is a small constant (seed schedules, arena growth doublings), while a
+#    regression to per-node allocation would scale with the ~50k states of
+#    the E7-sized search and blow far past the limit.
+#
+# Runs the benchmarks once (-benchtime 1x; the LP ones warm the solver up
+# before the timer) and fails if allocs/op exceeds the per-group limits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 MAX_ALLOCS="${MAX_ALLOCS:-8}"
-out=$(go test -run '^$' -bench 'BenchmarkLPSolve(Revised|Flat)$' -benchmem -benchtime 1x .)
+MAX_OPT_ALLOCS="${MAX_OPT_ALLOCS:-2000}"
+out=$(go test -run '^$' -bench 'BenchmarkLPSolve(Revised|Flat)$|BenchmarkOptSearchAStar' -benchmem -benchtime 1x .)
 echo "$out"
-echo "$out" | awk -v max="$MAX_ALLOCS" '
+echo "$out" | awk -v max="$MAX_ALLOCS" -v optmax="$MAX_OPT_ALLOCS" '
 	/^BenchmarkLPSolve/ {
 		allocs = $(NF-1)
 		if (allocs + 0 > max + 0) {
@@ -17,7 +26,14 @@ echo "$out" | awk -v max="$MAX_ALLOCS" '
 			bad = 1
 		}
 	}
+	/^BenchmarkOptSearchAStar/ {
+		allocs = $(NF-1)
+		if (allocs + 0 > optmax + 0) {
+			printf "FAIL: %s allocates %s allocs/op (max %s)\n", $1, allocs, optmax
+			bad = 1
+		}
+	}
 	END {
-		if (!bad) printf "alloc guard OK (max %s allocs/op)\n", max
+		if (!bad) printf "alloc guard OK (LP max %s, opt max %s allocs/op)\n", max, optmax
 		exit bad
 	}'
