@@ -1,0 +1,172 @@
+// Command benchdiff compares two pcbench -json trajectory files and fails on
+// unexplained changes to the experiment tables.
+//
+// Usage:
+//
+//	benchdiff BASELINE.json CURRENT.json
+//
+// The comparison encodes the repository's bench-regression policy:
+//
+//   - Every experiment of the baseline must still exist.
+//   - Every baseline column must still exist (new columns may be added).
+//   - Every baseline row must appear in the current table, in order, with
+//     identical values in every *schedule-value* column.  Engine-effort
+//     columns (state expansions, pivot counts, wall times) may change: they
+//     track how hard the solvers worked, not what the algorithms computed,
+//     and they legitimately move when engines improve.
+//   - The top-level lp/opt counter blocks are informational and not
+//     compared.
+//
+// Exit status: 0 when the baseline is preserved, 1 on a regression, 2 on
+// usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+
+	"pfcache/internal/service"
+)
+
+// mutableColumn matches headers whose values measure engine effort rather
+// than schedule values.  "astar expanded" / "dijkstra expanded" (E7) are the
+// current instances; pivot/iteration/seconds names are reserved for future
+// tables.
+var mutableColumn = regexp.MustCompile(`(?i)expanded|generated|pruned|pivots|iterations|states|seconds`)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff BASELINE.json CURRENT.json")
+		return 2
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	failures := compare(base, cur)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", len(failures), os.Args[1])
+		return 1
+	}
+	fmt.Printf("benchdiff OK: every baseline row of %s is preserved in %s\n", os.Args[1], os.Args[2])
+	return 0
+}
+
+func load(path string) (*service.SweepResponse, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out service.SweepResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &out, nil
+}
+
+// compare returns one message per violated policy rule.
+func compare(base, cur *service.SweepResponse) []string {
+	var failures []string
+	curByID := make(map[string]*service.TableWire, len(cur.Results))
+	for i := range cur.Results {
+		curByID[cur.Results[i].ID] = &cur.Results[i]
+	}
+	for i := range base.Results {
+		bt := &base.Results[i]
+		ct, ok := curByID[bt.ID]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: experiment missing from current run", bt.ID))
+			continue
+		}
+		failures = append(failures, compareTable(bt, ct)...)
+	}
+	return failures
+}
+
+func compareTable(base, cur *service.TableWire) []string {
+	var failures []string
+
+	// Map each immutable baseline column to its position in the current
+	// headers; renamed or dropped columns are regressions.
+	type column struct {
+		name      string
+		baseIdx   int
+		curIdx    int
+		immutable bool
+	}
+	curIdx := make(map[string]int, len(cur.Headers))
+	for i, h := range cur.Headers {
+		curIdx[h] = i
+	}
+	var cols []column
+	for i, h := range base.Headers {
+		j, ok := curIdx[h]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: column %q disappeared", base.ID, h))
+			continue
+		}
+		cols = append(cols, column{name: h, baseIdx: i, curIdx: j, immutable: !mutableColumn.MatchString(h)})
+	}
+	if len(failures) > 0 {
+		return failures
+	}
+
+	// Project a row onto the immutable baseline columns.
+	project := func(row []string, useCur bool) string {
+		var b strings.Builder
+		for _, c := range cols {
+			if !c.immutable {
+				continue
+			}
+			idx := c.baseIdx
+			if useCur {
+				idx = c.curIdx
+			}
+			if idx >= len(row) {
+				b.WriteString("\x00<short row>")
+				continue
+			}
+			b.WriteString(row[idx])
+			b.WriteByte('\x00')
+		}
+		return b.String()
+	}
+
+	// Every baseline row must appear in the current rows as an in-order
+	// subsequence: rows may be added between historical ones, but no
+	// historical row may change a schedule value, vanish, or be reordered.
+	next := 0
+	for ri, brow := range base.Rows {
+		want := project(brow, false)
+		found := -1
+		for j := next; j < len(cur.Rows); j++ {
+			if project(cur.Rows[j], true) == want {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s row %d (%s): no matching row in current output (schedule values changed, row removed, or rows reordered)",
+				base.ID, ri, strings.Join(brow, " | ")))
+			continue
+		}
+		next = found + 1
+	}
+	return failures
+}

@@ -15,12 +15,22 @@
 //	pcbench -solver flat    # solve the LPs with the flat-tableau simplex
 //	pcbench -cpuprofile f   # write a pprof CPU profile of the run to f
 //	pcbench -memprofile f   # write a pprof heap profile after the run to f
+//	pcbench -serve-url URL  # run the sweep on a live pcserve and verify it
+//	                        # matches the in-process run byte for byte
+//
+// The -json output is produced by service.RunSweep, the same code path the
+// pcserve /v1/sweep endpoint streams; with -serve-url, pcbench becomes a
+// smoke client of a running server and fails if the served bytes differ from
+// what this process computes locally.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,52 +38,8 @@ import (
 
 	"pfcache/internal/experiments"
 	"pfcache/internal/lp"
-	"pfcache/internal/opt"
+	"pfcache/internal/service"
 )
-
-// jsonResult is the JSON shape of one experiment result, stable for
-// trajectory tracking across revisions.
-type jsonResult struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Note    string     `json:"note,omitempty"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
-	Seconds float64    `json:"seconds,omitempty"`
-}
-
-// jsonLPCounters mirrors lp.Counters with stable JSON names: how much
-// simplex work the whole run performed, recorded so trajectory files catch
-// algorithmic regressions (pivot counts) and not just wall-time noise.
-type jsonLPCounters struct {
-	Solves           uint64 `json:"solves"`
-	Iterations       uint64 `json:"iterations"`
-	PricingPasses    uint64 `json:"pricing_passes"`
-	Refactorizations uint64 `json:"refactorizations"`
-	EtaColumns       uint64 `json:"eta_columns"`
-}
-
-// jsonOptCounters mirrors opt.Counters: how much exact-search work the run
-// performed (the A*/branch-and-bound engine of internal/opt).  Expansion and
-// pruning counts catch search regressions the same way pivot counts catch
-// simplex regressions.
-type jsonOptCounters struct {
-	Searches      uint64 `json:"searches"`
-	Expanded      uint64 `json:"expanded"`
-	Generated     uint64 `json:"generated"`
-	PrunedByBound uint64 `json:"pruned_by_bound"`
-	DuplicateHits uint64 `json:"duplicate_hits"`
-	PeakTable     uint64 `json:"peak_table"`
-}
-
-// jsonOutput is the top-level -json shape: per-experiment tables plus the
-// LP solver configuration and the LP / exact-search work counters of the run.
-type jsonOutput struct {
-	Solver  string          `json:"solver"`
-	Results []jsonResult    `json:"results"`
-	LP      jsonLPCounters  `json:"lp"`
-	Opt     jsonOptCounters `json:"opt"`
-}
 
 // main only converts run's exit code: all the work happens in run, whose
 // deferred profile/file cleanup must execute before os.Exit.
@@ -89,6 +55,7 @@ func run() int {
 	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
+	serveURL := flag.String("serve-url", "", "run the sweep via a live pcserve at this base URL and verify it matches the in-process run")
 	flag.Parse()
 
 	if *list {
@@ -98,25 +65,33 @@ func run() int {
 		return 0
 	}
 
-	method, err := lp.ParseMethod(*solver)
-	if err != nil {
+	if _, err := lp.ParseMethod(*solver); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	experiments.SetSolverMethod(method)
-	experiments.SetWorkers(*workers)
-
-	selected := experiments.All()
+	var ids []string
 	if *runFlag != "" {
-		selected = nil
-		for _, id := range strings.Split(*runFlag, ",") {
-			e, err := experiments.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
-			}
-			selected = append(selected, e)
+		ids = strings.Split(*runFlag, ",")
+	}
+	req := &service.SweepRequest{IDs: ids, Stable: *stable, Workers: *workers, Solver: *solver}
+	if _, err := service.ResolveExperiments(req.IDs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	if *serveURL != "" {
+		// Comparing a remote sweep against a concurrent run in this process
+		// would race the server for wall-clock time only, but the comparison
+		// must be on deterministic bytes anyway.
+		if !*stable {
+			fmt.Fprintln(os.Stderr, "-serve-url requires -stable (wall times can never match byte-for-byte)")
+			return 2
 		}
+		if *cpuProfile != "" || *memProfile != "" {
+			fmt.Fprintln(os.Stderr, "-serve-url cannot be combined with -cpuprofile/-memprofile (the sweep runs on the server)")
+			return 2
+		}
+		return runAgainstServer(*serveURL, req)
 	}
 
 	if *cpuProfile != "" {
@@ -133,68 +108,28 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	lp.StatsReset()
-	opt.StatsReset()
-	results, err := experiments.RunAll(selected)
-	// Print whatever completed even when some experiment failed, so one
-	// broken experiment does not hide the others' results (failed entries
-	// have a nil table and are skipped).
+	code := 0
 	if *jsonOut {
-		counters := lp.StatsSnapshot()
-		optCounters := opt.StatsSnapshot()
-		out := jsonOutput{
-			Solver: method.String(),
-			LP: jsonLPCounters{
-				Solves:           counters.Solves,
-				Iterations:       counters.Iterations,
-				PricingPasses:    counters.PricingPasses,
-				Refactorizations: counters.Refactorizations,
-				EtaColumns:       counters.EtaColumns,
-			},
-			Opt: jsonOptCounters{
-				Searches:      optCounters.Searches,
-				Expanded:      optCounters.Expanded,
-				Generated:     optCounters.Generated,
-				PrunedByBound: optCounters.PrunedByBound,
-				DuplicateHits: optCounters.DuplicateHits,
-				PeakTable:     optCounters.PeakTable,
-			},
-			Results: make([]jsonResult, 0, len(results)),
+		// The sweep runner resets and snapshots the process-wide counters
+		// and is shared with the pcserve /v1/sweep endpoint, so CLI and
+		// service output are the same bytes.  Print whatever completed even
+		// when some experiment failed, so one broken experiment does not
+		// hide the others' results.
+		resp, err := service.RunSweep(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
 		}
-		for _, r := range results {
-			if r.Table == nil {
-				continue
+		if resp != nil {
+			if encErr := service.EncodeSweep(os.Stdout, resp); encErr != nil {
+				fmt.Fprintln(os.Stderr, encErr)
+				code = 1
 			}
-			jr := jsonResult{
-				ID:      r.Experiment.ID,
-				Title:   r.Experiment.Title,
-				Note:    r.Table.Note,
-				Headers: r.Table.Headers,
-				Rows:    r.Table.Rows,
-			}
-			if !*stable {
-				jr.Seconds = r.Elapsed.Seconds()
-			}
-			out.Results = append(out.Results, jr)
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if encErr := enc.Encode(out); encErr != nil {
-			fmt.Fprintln(os.Stderr, encErr)
-			return 1
 		}
 	} else {
-		for _, r := range results {
-			if r.Table == nil {
-				continue
-			}
-			if *csv {
-				fmt.Printf("# %s: %s\n%s\n", r.Experiment.ID, r.Experiment.Title, r.Table.CSV())
-			} else {
-				fmt.Printf("%s\n", r.Table)
-			}
-		}
+		code = runText(req, *csv)
 	}
+
 	if *memProfile != "" {
 		f, ferr := os.Create(*memProfile)
 		if ferr != nil {
@@ -209,9 +144,77 @@ func run() int {
 			return 1
 		}
 	}
+	return code
+}
+
+// runText prints aligned text tables (or CSV) straight from the experiment
+// driver.
+func runText(req *service.SweepRequest, csv bool) int {
+	method, _ := lp.ParseMethod(req.Solver)
+	experiments.SetSolverMethod(method)
+	experiments.SetWorkers(req.Workers)
+	selected, _ := service.ResolveExperiments(req.IDs)
+	results, err := experiments.RunAll(selected)
+	for _, r := range results {
+		if r.Table == nil {
+			continue
+		}
+		if csv {
+			fmt.Printf("# %s: %s\n%s\n", r.Experiment.ID, r.Experiment.Title, r.Table.CSV())
+		} else {
+			fmt.Printf("%s\n", r.Table)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	return 0
+}
+
+// runAgainstServer posts the sweep to a live pcserve instance, runs the same
+// sweep in-process, and verifies the two outputs are byte-identical.  The
+// server's bytes go to stdout either way, so the command doubles as a remote
+// sweep client.
+func runAgainstServer(baseURL string, req *service.SweepRequest) int {
+	reqBody, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/v1/sweep", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "server returned %s: %s", resp.Status, served)
+		return 1
+	}
+
+	local, err := service.RunSweep(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var localBuf bytes.Buffer
+	if err := service.EncodeSweep(&localBuf, local); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	os.Stdout.Write(served)
+	if !bytes.Equal(served, localBuf.Bytes()) {
+		fmt.Fprintf(os.Stderr, "MISMATCH: served sweep differs from the in-process run (%d vs %d bytes)\n",
+			len(served), localBuf.Len())
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "server output matches the in-process run")
 	return 0
 }

@@ -28,16 +28,9 @@ func main() {
 	phases := flag.Int("phases", 8, "phases for the adversary / phased workloads")
 	flag.Parse()
 
-	var strategy workload.DiskAssignment
-	switch *assign {
-	case "stripe":
-		strategy = workload.AssignStripe
-	case "partition":
-		strategy = workload.AssignPartition
-	case "random":
-		strategy = workload.AssignRandom
-	default:
-		fmt.Fprintf(os.Stderr, "unknown assignment %q\n", *assign)
+	strategy, err := workload.ParseAssignment(*assign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,92 @@
+// Command pcserve runs the sharded sweep service: an HTTP/JSON front end for
+// the prefetching/caching algorithms and the experiment suite.
+//
+// Usage:
+//
+//	pcserve                      # serve on :8080 with one shard per CPU
+//	pcserve -addr :9090          # serve on another address
+//	pcserve -shards 4 -cache 256 # 4 worker shards, 256-entry result cache
+//	pcserve -solver flat         # solve schedule-request LPs on the flat path
+//
+// Endpoints:
+//
+//	POST /v1/schedule   compute one schedule (see service.ScheduleRequest)
+//	POST /v1/sweep      run named experiments; output matches `pcbench -json`
+//	GET  /v1/experiments  list experiment identifiers and titles
+//	GET  /v1/stats      cache/shard counters
+//	GET  /healthz       liveness probe
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/schedule -d '{
+//	  "strategy": "aggressive",
+//	  "workload": {"kind": "zipf", "n": 64, "blocks": 16, "seed": 1},
+//	  "k": 8, "f": 4
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pfcache/internal/lp"
+	"pfcache/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "number of worker shards (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", 1024, "schedule result cache capacity in entries (0 disables)")
+	workers := flag.Int("workers", 0, "experiment pool size for sweeps (0 = one per CPU)")
+	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
+	flag.Parse()
+
+	method, err := lp.ParseMethod(*solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	srv := service.NewServer(service.Options{
+		Shards:       *shards,
+		CacheEntries: *cacheEntries,
+		Solver:       method,
+		Workers:      *workers,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("pcserve listening on %s (shards=%d cache=%d solver=%s)",
+		*addr, srv.Stats().Shards, *cacheEntries, method)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Print(err)
+			return 1
+		}
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	return 0
+}

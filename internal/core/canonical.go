@@ -1,0 +1,68 @@
+package core
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// AppendCanonical appends a canonical byte encoding of the instance to b and
+// returns the extended slice.  Two instances produce the same encoding if and
+// only if they are semantically identical: the request sequence, k, F, the
+// number of disks, the block-to-disk assignment restricted to the instance's
+// blocks, and the initial cache contents (as a set; residency has no order).
+// The encoding is the cache key of the sweep service, so it must be cheap,
+// allocation-light for a reused buffer, and independent of map iteration
+// order.
+func (in *Instance) AppendCanonical(b []byte) []byte {
+	b = append(b, 'k')
+	b = strconv.AppendInt(b, int64(in.K), 10)
+	b = append(b, 'f')
+	b = strconv.AppendInt(b, int64(in.F), 10)
+	b = append(b, 'd')
+	b = strconv.AppendInt(b, int64(in.Disks), 10)
+	if len(in.InitialCache) > 0 {
+		initial := make([]int, len(in.InitialCache))
+		for i, blk := range in.InitialCache {
+			initial[i] = int(blk)
+		}
+		sort.Ints(initial)
+		b = append(b, 'i')
+		for _, blk := range initial {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, int64(blk), 10)
+		}
+	}
+	if in.Disks > 1 {
+		// Blocks() is sorted, so the assignment lines are ordered even though
+		// DiskOf is a map.
+		b = append(b, 'a')
+		for _, blk := range in.Blocks() {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, int64(blk), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, int64(in.Disk(blk)), 10)
+		}
+	}
+	b = append(b, 's')
+	for _, blk := range in.Seq {
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(blk), 10)
+	}
+	return b
+}
+
+// CanonicalKey returns the canonical encoding as a string.
+func (in *Instance) CanonicalKey() string {
+	return string(in.AppendCanonical(nil))
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the canonical encoding.  It is
+// the shard-selection hash of the sweep service: equal instances always land
+// on the same shard, so duplicate requests contend on one solver instead of
+// re-solving on several.
+func (in *Instance) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(in.AppendCanonical(nil))
+	return h.Sum64()
+}

@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+func canonInstance() *Instance {
+	seq := Sequence{0, 1, 2, 0, 3, 1}
+	return &Instance{
+		Seq:          seq,
+		K:            3,
+		F:            4,
+		Disks:        2,
+		DiskOf:       map[BlockID]int{0: 0, 1: 1, 2: 0, 3: 1},
+		InitialCache: []BlockID{2, 0},
+	}
+}
+
+func TestCanonicalKeyDeterministic(t *testing.T) {
+	a, b := canonInstance(), canonInstance()
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("equal instances produced different keys:\n%q\n%q", a.CanonicalKey(), b.CanonicalKey())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal instances produced different fingerprints")
+	}
+	// Initial cache is a set: order must not matter.
+	c := canonInstance()
+	c.InitialCache = []BlockID{0, 2}
+	if a.CanonicalKey() != c.CanonicalKey() {
+		t.Fatalf("initial-cache order changed the key:\n%q\n%q", a.CanonicalKey(), c.CanonicalKey())
+	}
+}
+
+func TestCanonicalKeyDiscriminates(t *testing.T) {
+	base := canonInstance()
+	mutations := map[string]func(*Instance){
+		"k":       func(in *Instance) { in.K = 4 },
+		"f":       func(in *Instance) { in.F = 5 },
+		"disks":   func(in *Instance) { in.Disks = 3 },
+		"seq":     func(in *Instance) { in.Seq[0] = 3 },
+		"seq-len": func(in *Instance) { in.Seq = in.Seq[:5] },
+		"assign":  func(in *Instance) { in.DiskOf[2] = 1 },
+		"initial": func(in *Instance) { in.InitialCache = []BlockID{0, 1} },
+	}
+	for name, mutate := range mutations {
+		other := base.Clone()
+		mutate(other)
+		if base.CanonicalKey() == other.CanonicalKey() {
+			t.Errorf("mutation %q did not change the canonical key %q", name, base.CanonicalKey())
+		}
+	}
+}
+
+// The sequence/initial-cache boundary must be unambiguous: a block moved from
+// the tail of the initial-cache list into the sequence must change the key.
+func TestCanonicalKeyNoFieldBleed(t *testing.T) {
+	a := &Instance{Seq: Sequence{1, 2}, K: 2, F: 1, Disks: 1, InitialCache: []BlockID{3}}
+	b := &Instance{Seq: Sequence{3, 1, 2}, K: 2, F: 1, Disks: 1}
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatalf("distinct instances share key %q", a.CanonicalKey())
+	}
+}

@@ -1,0 +1,42 @@
+package report_test
+
+import (
+	"testing"
+
+	"pfcache/internal/service"
+)
+
+// TestTableWireGolden pins the exact rendering of a table that travelled
+// through the service wire format: the sweep endpoint ships TableWire values
+// and clients re-render them through report.Table, so the round trip
+// (alignment, separator, note placement, title composition) must not drift.
+func TestTableWireGolden(t *testing.T) {
+	wire := service.TableWire{
+		ID:      "E6",
+		Title:   "Head-to-head",
+		Note:    "combination should win",
+		Headers: []string{"workload", "k", "stall"},
+		Rows: [][]string{
+			{"zipf", "4", "12"},
+			{"sequential-scan", "8", "0"},
+		},
+	}
+	// Cells are %-*s padded, so short values in the last column carry
+	// trailing spaces; that is the shipped format, pinned here as-is.
+	const golden = "== E6: Head-to-head ==\n" +
+		"combination should win\n" +
+		"workload         k  stall\n" +
+		"---------------  -  -----\n" +
+		"zipf             4  12   \n" +
+		"sequential-scan  8  0    \n"
+	if got := wire.Table().String(); got != golden {
+		t.Errorf("wire table rendering drifted:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	const goldenCSV = "workload,k,stall\n" +
+		"zipf,4,12\n" +
+		"sequential-scan,8,0\n"
+	if got := wire.Table().CSV(); got != goldenCSV {
+		t.Errorf("wire table CSV drifted:\ngot:\n%s\nwant:\n%s", got, goldenCSV)
+	}
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a bounded least-recently-used cache from canonical request
+// keys to marshalled response bytes.  Storing the final bytes (rather than
+// the response struct) guarantees that a cache hit replays exactly what the
+// first computation sent.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache builds a cache holding at most capacity entries; capacity <= 0
+// disables caching (every lookup misses, nothing is stored).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached bytes for key, marking the entry most recently
+// used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c.capacity <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).body, true
+}
+
+// peek is get without touching the hit/miss counters.  It is used by a
+// flight leader re-checking the cache after winning the flight slot: a
+// racing leader whose duplicate finished between the handler's cache lookup
+// and the flight join must serve the stored bytes instead of re-solving,
+// but that internal re-check is not a client-visible lookup.
+func (c *lruCache) peek(key string) ([]byte, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put stores the bytes for key, evicting the least recently used entry when
+// the cache is full.
+func (c *lruCache) put(key string, body []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+}
+
+// len returns the current number of entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup coalesces concurrent computations of the same key: the first
+// caller runs fn, every concurrent duplicate blocks until that run finishes
+// and shares its result.  Results are not retained beyond the in-flight
+// window; pairing the group with the LRU cache gives "compute at most once
+// at a time, remember the recent past".
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	coalesced atomic.Uint64
+}
+
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// do runs fn for key unless an identical computation is already in flight,
+// in which case it waits for and shares that computation's result.  The
+// second return value reports whether this call was coalesced onto another.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) ([]byte, error, bool) {
+	g.mu.Lock()
+	if fl, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		<-fl.done
+		return fl.body, fl.err, true
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.flights[key] = fl
+	g.mu.Unlock()
+
+	fl.body, fl.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(fl.done)
+	return fl.body, fl.err, false
+}

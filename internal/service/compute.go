@@ -1,0 +1,120 @@
+package service
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
+	"pfcache/internal/opt"
+	"pfcache/internal/parallel"
+	"pfcache/internal/sim"
+	"pfcache/internal/single"
+)
+
+// ComputeSchedule runs one strategy on one instance and assembles the
+// response.  It is the single code path behind the HTTP handler, the shards
+// and the tests: responses are byte-identical no matter which of them asks.
+// solver may be nil (a pooled solver is drawn for LP work); shards pass their
+// owned solver so repeated LP requests on one shard reuse tableau buffers.
+func ComputeSchedule(in *core.Instance, strategy string, includeSchedule bool, solver *lp.Solver, opts lp.Options) (*ScheduleResponse, error) {
+	resp := &ScheduleResponse{
+		Key:        fmt.Sprintf("%016x", in.Fingerprint()),
+		Strategy:   strategy,
+		N:          in.N(),
+		K:          in.K,
+		F:          in.F,
+		Disks:      in.Disks,
+		Blocks:     len(in.Blocks()),
+		ColdMisses: in.ColdMisses(),
+	}
+
+	var sched *core.Schedule
+	switch strategy {
+	case "opt":
+		res, err := opt.Optimal(in, opt.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sched = res.Schedule
+		resp.Opt = &OptInfo{
+			Expanded:      res.StatesExpanded,
+			Generated:     res.StatesGenerated,
+			PrunedByBound: res.PrunedByBound,
+			DuplicateHits: res.DuplicateHits,
+			PeakTable:     res.PeakTableSize,
+			SeedAlgorithm: res.SeedAlgorithm,
+			SeedStall:     res.SeedStall,
+			SeedOptimal:   res.SeedOptimal,
+		}
+	case "lp-optimal":
+		m, err := lpmodel.Build(in)
+		if err != nil {
+			return nil, err
+		}
+		frac, err := m.SolveWith(solver, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := lpmodel.Extract(m, frac)
+		if err != nil {
+			return nil, err
+		}
+		sched = res.Schedule
+		resp.LP = &LPInfo{
+			LowerBound:  res.LowerBound,
+			Integral:    res.Integral,
+			Offset:      res.Offset,
+			Variables:   res.LPVariables,
+			Constraints: res.LPConstraints,
+			Iterations:  res.LPIterations,
+			Candidates:  res.CandidatesTried,
+		}
+	default:
+		var err error
+		sched, err = greedySchedule(in, strategy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := sim.Run(in, sched, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("service: %s schedule is infeasible: %w", strategy, err)
+	}
+	resp.Stall = res.Stall
+	resp.Elapsed = res.Elapsed
+	resp.FetchCount = res.FetchCount
+	resp.ExtraCache = res.ExtraCache
+
+	if includeSchedule {
+		resp.Schedule = make([]FetchWire, 0, sched.Len())
+		for _, f := range sched.Fetches {
+			resp.Schedule = append(resp.Schedule, FetchWire{
+				Disk:       f.Disk,
+				After:      f.After,
+				MinTime:    f.MinTime,
+				Block:      int(f.Block),
+				Evict:      int(f.Evict),
+				EvictAtEnd: int(f.EvictAtEnd),
+			})
+		}
+	}
+	return resp, nil
+}
+
+// greedySchedule resolves a non-LP, non-exact strategy the same way the
+// pcsim CLI does: single-disk instances try the single-disk registry first
+// and fall back to the parallel suite (which accepts D == 1).
+func greedySchedule(in *core.Instance, strategy string) (*core.Schedule, error) {
+	if in.Disks == 1 {
+		if a, err := single.ByName(strategy); err == nil {
+			return a.Run(in)
+		}
+	}
+	a, err := parallel.ByName(strategy)
+	if err != nil {
+		return nil, fmt.Errorf("service: unknown strategy %q for a %d-disk instance", strategy, in.Disks)
+	}
+	return a.Run(in)
+}

@@ -1,0 +1,30 @@
+// Package service exposes the prefetching/caching algorithms and the
+// experiment suite as a long-lived HTTP/JSON service (command pcserve).
+//
+// Two request families are served:
+//
+//   - POST /v1/schedule computes one schedule: the request names an instance
+//     (an explicit reference sequence, a generated workload, or the pfcache
+//     text format) and a strategy (aggressive, conservative, delay:<d>,
+//     delay:auto, combination, demand-*, lp-optimal, opt, ...), and the
+//     response carries the schedule, its stall/elapsed time and the
+//     solver/search counters of the computation.
+//   - POST /v1/sweep runs whole named experiments (E1-E8, A1, A2) through
+//     experiments.RunAll and streams exactly the JSON that `pcbench -json`
+//     emits; pcbench itself builds its -json output through RunSweep, so the
+//     CLI and the service are thin clients of one code path.
+//
+// Internally, schedule requests are sharded by the instance's canonical
+// fingerprint (core.Instance.Fingerprint) onto a fixed set of worker shards.
+// Each shard processes its requests serially on one goroutine and owns a
+// reusable lp.Solver, so the hot LP path keeps the steady-state allocation
+// discipline of the solver pool while never sharing a tableau between
+// concurrent solves.  In front of the shards sit a bounded LRU cache keyed
+// by the canonical instance encoding plus the strategy (so repeated requests
+// are answered from memory, byte-identically) and an in-flight table that
+// coalesces duplicate concurrent requests into a single computation.
+//
+// Sweeps take an exclusive lock while schedule requests hold a shared one:
+// the process-wide lp/opt counters embedded in sweep output stay exactly
+// reproducible because no other solver work runs during a sweep.
+package service

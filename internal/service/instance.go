@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+
+	"pfcache/internal/core"
+	"pfcache/internal/workload"
+)
+
+// generate builds the request sequence described by the spec.  The workload
+// generators panic on invalid parameters (they are library entry points with
+// programmer-error semantics); the recover converts those panics into request
+// errors so a malformed HTTP request cannot take the service down.
+func generate(spec *WorkloadSpec) (seq core.Sequence, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: invalid workload spec: %v", r)
+		}
+	}()
+	switch spec.Kind {
+	case "uniform":
+		return workload.Uniform(spec.N, spec.Blocks, spec.Seed), nil
+	case "zipf":
+		s := spec.S
+		if s == 0 {
+			s = 1.1
+		}
+		return workload.Zipf(spec.N, spec.Blocks, s, spec.Seed), nil
+	case "scan":
+		return workload.SequentialScan(spec.N, spec.Blocks), nil
+	case "loop":
+		return workload.Loop(spec.Blocks, spec.Repeats), nil
+	case "phased":
+		return workload.Phased(spec.Phases, spec.PerPhase, spec.Blocks, spec.Overlap, spec.Seed), nil
+	case "interleaved":
+		return workload.Interleaved(spec.N, spec.Streams, spec.StreamLen), nil
+	case "mixed":
+		return workload.Mixed(spec.N, spec.Blocks, spec.ScanBlocks, spec.Burst, spec.Seed), nil
+	}
+	return nil, fmt.Errorf("service: unknown workload kind %q", spec.Kind)
+}
+
+// BuildInstance materialises the instance a schedule request describes and
+// validates it.
+func (r *ScheduleRequest) BuildInstance() (*core.Instance, error) {
+	sources := 0
+	if r.Instance != "" {
+		sources++
+	}
+	if len(r.Seq) > 0 {
+		sources++
+	}
+	if r.Workload != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("service: exactly one of instance, seq or workload must be set (got %d)", sources)
+	}
+
+	if r.Instance != "" {
+		return workload.ParseString(r.Instance)
+	}
+
+	var seq core.Sequence
+	if len(r.Seq) > 0 {
+		seq = make(core.Sequence, len(r.Seq))
+		for i, b := range r.Seq {
+			seq[i] = core.BlockID(b)
+		}
+	} else {
+		var err error
+		if seq, err = generate(r.Workload); err != nil {
+			return nil, err
+		}
+	}
+
+	disks := r.Disks
+	if disks == 0 {
+		disks = 1
+	}
+	in := &core.Instance{Seq: seq, K: r.K, F: r.F, Disks: disks}
+	if disks > 1 {
+		strategy, err := workload.ParseAssignment(r.Assign)
+		if err != nil {
+			return nil, err
+		}
+		in.DiskOf = workload.AssignDisks(seq, disks, strategy, r.AssignSeed)
+	}
+	for _, b := range r.InitialCache {
+		in.InitialCache = append(in.InitialCache, core.BlockID(b))
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("service: invalid instance: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,272 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"pfcache/internal/experiments"
+	"pfcache/internal/lp"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Shards is the number of worker shards (0 = one per CPU).
+	Shards int
+	// CacheEntries bounds the schedule-response LRU cache (0 disables it).
+	CacheEntries int
+	// Solver is the simplex implementation for schedule requests and the
+	// default restored after sweeps (zero value = lp.MethodRevised).
+	Solver lp.Method
+	// Workers is the experiment pool size restored after sweeps (0 = one
+	// worker per CPU).
+	Workers int
+}
+
+// Server is the sharded sweep service.  It implements http.Handler.
+type Server struct {
+	opts   Options
+	pool   *shardPool
+	cache  *lruCache
+	flight *flightGroup
+	mux    *http.ServeMux
+
+	// sweepMu serialises sweeps against schedule requests: sweeps embed the
+	// process-wide lp/opt counters in their output, so they must run with no
+	// other solver work in the process to stay byte-reproducible.  Schedule
+	// requests hold it shared, sweeps exclusively.
+	sweepMu sync.RWMutex
+
+	computed atomic.Uint64 // schedule computations actually performed
+	sweeps   atomic.Uint64
+}
+
+// NewServer builds a server and starts its shard goroutines.
+func NewServer(opts Options) *Server {
+	s := &Server{
+		opts:   opts,
+		pool:   newShardPool(opts.Shards),
+		cache:  newLRUCache(opts.CacheEntries),
+		flight: newFlightGroup(),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the service endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the shard goroutines.  In-flight requests complete first; no
+// new requests may be served afterwards.
+func (s *Server) Close() { s.pool.close() }
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Shards:       s.pool.size(),
+		CacheEntries: s.cache.len(),
+		CacheHits:    s.cache.hits.Load(),
+		CacheMisses:  s.cache.misses.Load(),
+		Coalesced:    s.flight.coalesced.Load(),
+		Evictions:    s.cache.evictions.Load(),
+		Computed:     s.computed.Load(),
+		Sweeps:       s.sweeps.Load(),
+	}
+}
+
+// httpError reports err with the given status as a JSON body.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// scheduleKey is the cache/coalescing key of a schedule request: the
+// strategy, the response shape, and the full canonical instance encoding
+// (not its hash, so distinct instances can never collide in the cache).
+func scheduleKey(req *ScheduleRequest, canonical []byte) string {
+	b := make([]byte, 0, len(req.Strategy)+3+len(canonical))
+	b = append(b, req.Strategy...)
+	b = append(b, '|')
+	if req.IncludeSchedule {
+		b = append(b, 's')
+	}
+	b = append(b, '|')
+	b = append(b, canonical...)
+	return string(b)
+}
+
+// ScheduleBody computes the marshalled response body for a schedule request,
+// bypassing cache, shards and HTTP.  It is the sequential reference the
+// end-to-end tests compare the served bytes against.
+func ScheduleBody(req *ScheduleRequest, opts lp.Options) ([]byte, error) {
+	in, err := req.BuildInstance()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ComputeSchedule(in, req.Strategy, req.IncludeSchedule, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	return marshalBody(resp)
+}
+
+// marshalBody renders a schedule response exactly as the handler writes it.
+func marshalBody(resp *ScheduleResponse) ([]byte, error) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// maxRequestBody caps request bodies: far above any realistic instance spec
+// (an explicit million-request sequence fits comfortably), low enough that a
+// hostile client cannot drive the decoder to exhaust memory.
+const maxRequestBody = 16 << 20
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	if req.Strategy == "" {
+		httpError(w, http.StatusBadRequest, errors.New("service: strategy must be set"))
+		return
+	}
+	in, err := req.BuildInstance()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.sweepMu.RLock()
+	defer s.sweepMu.RUnlock()
+
+	// Encode the instance once; the bytes feed the cache key and, hashed,
+	// the shard selection.
+	canonical := in.AppendCanonical(make([]byte, 0, 64+4*in.N()))
+	key := scheduleKey(&req, canonical)
+	if body, ok := s.cache.get(key); ok {
+		writeCached(w, body, "hit")
+		return
+	}
+	body, err, coalesced := s.flight.do(key, func() ([]byte, error) {
+		// A duplicate may have finished between the cache lookup above and
+		// winning this flight slot (its flight is deleted only after its
+		// cache.put); re-checking here keeps the "duplicates never
+		// re-solve" guarantee airtight.
+		if b, ok := s.cache.peek(key); ok {
+			return b, nil
+		}
+		var resp *ScheduleResponse
+		var cerr error
+		s.pool.run(fnvSum(canonical), func(solver *lp.Solver) {
+			resp, cerr = ComputeSchedule(in, req.Strategy, req.IncludeSchedule, solver, lp.Options{Method: s.opts.Solver})
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.computed.Add(1)
+		b, merr := marshalBody(resp)
+		if merr != nil {
+			return nil, merr
+		}
+		s.cache.put(key, b)
+		return b, nil
+	})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	status := "miss"
+	if coalesced {
+		status = "coalesced"
+	}
+	writeCached(w, body, status)
+}
+
+// writeCached writes a stored response body; the cache status travels in a
+// header so hit, miss and coalesced bodies stay byte-identical.
+func writeCached(w http.ResponseWriter, body []byte, status string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", status)
+	w.Write(body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	// Validate before taking the exclusive lock so malformed sweeps never
+	// stall schedule traffic.
+	if _, err := ResolveExperiments(req.IDs); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := lp.ParseMethod(solverName(req.Solver)); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.sweepMu.Lock()
+	resp, err := RunSweep(&req)
+	// Restore the server's configuration: RunSweep points the process-wide
+	// experiment knobs at the request's values.
+	experiments.SetSolverMethod(s.opts.Solver)
+	experiments.SetWorkers(s.opts.Workers)
+	s.sweepMu.Unlock()
+
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.sweeps.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	EncodeSweep(w, resp)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []entry
+	for _, e := range experiments.All() {
+		out = append(out, entry{ID: e.ID, Title: e.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// fnvSum hashes the canonical instance bytes for shard selection; it is the
+// same FNV-1a that core.Instance.Fingerprint computes, without re-encoding
+// the instance.
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+
+	"pfcache/internal/lp"
+)
+
+// shard is one worker of the service: a goroutine draining a task queue,
+// owning a reusable lp.Solver and the scratch state of its computations.
+// Requests for the same instance always hash to the same shard, so a hot
+// instance contends on one solver's buffers instead of re-allocating
+// tableaus across the process.
+type shard struct {
+	tasks  chan func(*lp.Solver)
+	solver *lp.Solver
+}
+
+// shardPool is a fixed set of shards plus the goroutine lifecycle around
+// them.
+type shardPool struct {
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// newShardPool starts n shard goroutines (n <= 0 means one per CPU).
+func newShardPool(n int) *shardPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &shardPool{shards: make([]*shard, n)}
+	for i := range p.shards {
+		s := &shard{
+			tasks:  make(chan func(*lp.Solver)),
+			solver: lp.NewSolver(),
+		}
+		p.shards[i] = s
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range s.tasks {
+				task(s.solver)
+			}
+		}()
+	}
+	return p
+}
+
+// size returns the number of shards.
+func (p *shardPool) size() int { return len(p.shards) }
+
+// run executes fn on the shard selected by hash and blocks until it
+// completes.  fn receives the shard's solver.
+func (p *shardPool) run(hash uint64, fn func(*lp.Solver)) {
+	s := p.shards[hash%uint64(len(p.shards))]
+	done := make(chan struct{})
+	s.tasks <- func(solver *lp.Solver) {
+		defer close(done)
+		fn(solver)
+	}
+	<-done
+}
+
+// close stops every shard goroutine and waits for in-flight tasks to
+// finish.  run must not be called after close.
+func (p *shardPool) close() {
+	for _, s := range p.shards {
+		close(s.tasks)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"pfcache/internal/experiments"
+	"pfcache/internal/lp"
+	"pfcache/internal/opt"
+)
+
+// ResolveExperiments maps a sweep request's IDs to experiments (the whole
+// suite when the list is empty).
+func ResolveExperiments(ids []string) ([]experiments.Experiment, error) {
+	if len(ids) == 0 {
+		return experiments.All(), nil
+	}
+	var out []experiments.Experiment
+	for _, id := range ids {
+		e, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// RunSweep executes the requested experiments and packages their tables with
+// the process-wide LP and exact-search counters, exactly as `pcbench -json`
+// reports them: pcbench builds its output through this function, so the CLI
+// and the /v1/sweep endpoint cannot drift apart.
+//
+// The run mutates process-wide state (the experiment pool size, the selected
+// simplex method, the lp/opt counters); the caller is responsible for
+// exclusion against other solver work (the server holds its sweep lock, the
+// CLI is single-purpose).  Partial results are returned alongside the error
+// when individual experiments fail.
+func RunSweep(req *SweepRequest) (*SweepResponse, error) {
+	exps, err := ResolveExperiments(req.IDs)
+	if err != nil {
+		return nil, err
+	}
+	method, err := lp.ParseMethod(solverName(req.Solver))
+	if err != nil {
+		return nil, err
+	}
+	experiments.SetSolverMethod(method)
+	experiments.SetWorkers(req.Workers)
+
+	lp.StatsReset()
+	opt.StatsReset()
+	results, runErr := experiments.RunAll(exps)
+	lpc := lp.StatsSnapshot()
+	optc := opt.StatsSnapshot()
+
+	resp := &SweepResponse{
+		Solver:  method.String(),
+		Results: make([]TableWire, 0, len(results)),
+		LP: LPCountersWire{
+			Solves:           lpc.Solves,
+			Iterations:       lpc.Iterations,
+			PricingPasses:    lpc.PricingPasses,
+			Refactorizations: lpc.Refactorizations,
+			EtaColumns:       lpc.EtaColumns,
+		},
+		Opt: OptCountersWire{
+			Searches:      optc.Searches,
+			Expanded:      optc.Expanded,
+			Generated:     optc.Generated,
+			PrunedByBound: optc.PrunedByBound,
+			DuplicateHits: optc.DuplicateHits,
+			PeakTable:     optc.PeakTable,
+		},
+	}
+	for _, r := range results {
+		// One failed experiment must not hide the others' tables; failed
+		// entries have a nil table and are skipped, mirroring pcbench.
+		if r.Table == nil {
+			continue
+		}
+		t := TableWire{
+			ID:      r.Experiment.ID,
+			Title:   r.Experiment.Title,
+			Note:    r.Table.Note,
+			Headers: r.Table.Headers,
+			Rows:    r.Table.Rows,
+		}
+		if !req.Stable {
+			t.Seconds = r.Elapsed.Seconds()
+		}
+		resp.Results = append(resp.Results, t)
+	}
+	return resp, runErr
+}
+
+// solverName defaults an empty solver field to the production method.
+func solverName(s string) string {
+	if s == "" {
+		return "revised"
+	}
+	return s
+}
+
+// EncodeSweep writes the sweep response in the trajectory JSON format:
+// two-space indentation plus a trailing newline, byte-identical to what
+// `pcbench -json` prints and what BENCH_*.json files record.
+func EncodeSweep(w io.Writer, resp *SweepResponse) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}

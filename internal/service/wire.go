@@ -1,0 +1,214 @@
+package service
+
+import (
+	"pfcache/internal/report"
+)
+
+// WorkloadSpec describes a generated request sequence.  Kind selects the
+// generator of package workload; the other fields parameterise it (unused
+// fields are ignored by the selected kind).
+type WorkloadSpec struct {
+	// Kind is one of "uniform", "zipf", "scan", "loop", "phased",
+	// "interleaved" or "mixed".
+	Kind string `json:"kind"`
+	// N is the number of requests (uniform, zipf, scan, interleaved, mixed).
+	N int `json:"n,omitempty"`
+	// Blocks is the number of distinct blocks (uniform, zipf, scan; the loop
+	// length for "loop"; the random-region size for "mixed"; the per-phase
+	// working-set size for "phased").
+	Blocks int `json:"blocks,omitempty"`
+	// S is the Zipf exponent ("zipf" only).
+	S float64 `json:"s,omitempty"`
+	// Seed seeds the random generators (uniform, zipf, phased, mixed).
+	Seed int64 `json:"seed,omitempty"`
+	// Repeats is the number of passes for "loop".
+	Repeats int `json:"repeats,omitempty"`
+	// Phases and PerPhase shape the "phased" workload; Overlap is the number
+	// of blocks consecutive working sets share.
+	Phases   int `json:"phases,omitempty"`
+	PerPhase int `json:"per_phase,omitempty"`
+	Overlap  int `json:"overlap,omitempty"`
+	// Streams and StreamLen shape the "interleaved" workload.
+	Streams   int `json:"streams,omitempty"`
+	StreamLen int `json:"stream_len,omitempty"`
+	// ScanBlocks and Burst shape the "mixed" workload.
+	ScanBlocks int `json:"scan_blocks,omitempty"`
+	Burst      int `json:"burst,omitempty"`
+}
+
+// ScheduleRequest asks the service for one schedule.  Exactly one instance
+// source must be set: Instance (the pfcache text format), Seq (an explicit
+// reference sequence) or Workload (a generated sequence).
+type ScheduleRequest struct {
+	// Strategy names the algorithm: any name accepted by single.ByName for
+	// single-disk instances (aggressive, conservative, combination,
+	// delay:auto, delay:<d>, online:<w>, demand-min, demand-lru,
+	// demand-fifo), any name accepted by parallel.ByName (lp-optimal,
+	// aggressive, conservative, demand), or "opt" for the exact search.
+	Strategy string `json:"strategy"`
+
+	// Instance is a whole instance in the pfcache text format ("pfcache-
+	// instance v1"); when set it carries k, F, disks and the sequence, and
+	// the fields below are ignored.
+	Instance string `json:"instance,omitempty"`
+
+	// Seq is an explicit reference sequence of block IDs.
+	Seq []int `json:"seq,omitempty"`
+	// Workload generates the reference sequence instead of Seq.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+
+	// K, F and Disks shape the instance built from Seq or Workload.
+	K     int `json:"k,omitempty"`
+	F     int `json:"f,omitempty"`
+	Disks int `json:"disks,omitempty"`
+	// Assign selects the block-to-disk assignment for Disks > 1: "stripe"
+	// (default), "partition" or "random" (seeded by AssignSeed).
+	Assign     string `json:"assign,omitempty"`
+	AssignSeed int64  `json:"assign_seed,omitempty"`
+	// InitialCache lists blocks resident before the first request.
+	InitialCache []int `json:"initial_cache,omitempty"`
+
+	// IncludeSchedule adds the fetch list to the response.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+// FetchWire is one fetch operation of a schedule.  Block IDs are plain
+// integers; -1 is "no block" (a fetch into a free cache location).
+type FetchWire struct {
+	Disk       int `json:"disk"`
+	After      int `json:"after"`
+	MinTime    int `json:"min_time,omitempty"`
+	Block      int `json:"block"`
+	Evict      int `json:"evict"`
+	EvictAtEnd int `json:"evict_at_end"`
+}
+
+// LPInfo reports the linear-programming work behind an lp-optimal schedule.
+type LPInfo struct {
+	LowerBound  float64 `json:"lower_bound"`
+	Integral    bool    `json:"integral"`
+	Offset      float64 `json:"offset"`
+	Variables   int     `json:"variables"`
+	Constraints int     `json:"constraints"`
+	Iterations  int     `json:"iterations"`
+	Candidates  int     `json:"candidates"`
+}
+
+// OptInfo reports the exact-search work behind an opt schedule.
+type OptInfo struct {
+	Expanded      int    `json:"expanded"`
+	Generated     int    `json:"generated"`
+	PrunedByBound int    `json:"pruned_by_bound"`
+	DuplicateHits int    `json:"duplicate_hits"`
+	PeakTable     int    `json:"peak_table"`
+	SeedAlgorithm string `json:"seed_algorithm,omitempty"`
+	SeedStall     int    `json:"seed_stall"`
+	SeedOptimal   bool   `json:"seed_optimal"`
+}
+
+// ScheduleResponse is the outcome of one schedule request.  Responses are
+// deterministic functions of the request, so the cache can replay them
+// byte-identically.
+type ScheduleResponse struct {
+	// Key is the canonical instance fingerprint (hex), the value the service
+	// shards and caches by (combined with the strategy).
+	Key      string `json:"key"`
+	Strategy string `json:"strategy"`
+
+	// Instance summary.
+	N          int `json:"n"`
+	K          int `json:"k"`
+	F          int `json:"f"`
+	Disks      int `json:"disks"`
+	Blocks     int `json:"blocks"`
+	ColdMisses int `json:"cold_misses"`
+
+	// Executed cost of the schedule.
+	Stall      int `json:"stall"`
+	Elapsed    int `json:"elapsed"`
+	FetchCount int `json:"fetch_count"`
+	ExtraCache int `json:"extra_cache"`
+
+	Schedule []FetchWire `json:"schedule,omitempty"`
+	LP       *LPInfo     `json:"lp,omitempty"`
+	Opt      *OptInfo    `json:"opt,omitempty"`
+}
+
+// TableWire is the wire form of one experiment result table.  Its JSON tags
+// are the stable BENCH_*.json trajectory format.
+type TableWire struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds,omitempty"`
+}
+
+// Table converts the wire table back into a renderable report.Table; the
+// experiment ID and title become the table title, mirroring how pcbench
+// labels its text output.
+func (t *TableWire) Table() *report.Table {
+	return &report.Table{
+		Title:   t.ID + ": " + t.Title,
+		Note:    t.Note,
+		Headers: t.Headers,
+		Rows:    t.Rows,
+	}
+}
+
+// LPCountersWire mirrors lp.Counters with the stable JSON names of the
+// trajectory format.
+type LPCountersWire struct {
+	Solves           uint64 `json:"solves"`
+	Iterations       uint64 `json:"iterations"`
+	PricingPasses    uint64 `json:"pricing_passes"`
+	Refactorizations uint64 `json:"refactorizations"`
+	EtaColumns       uint64 `json:"eta_columns"`
+}
+
+// OptCountersWire mirrors opt.Counters with the stable JSON names of the
+// trajectory format.
+type OptCountersWire struct {
+	Searches      uint64 `json:"searches"`
+	Expanded      uint64 `json:"expanded"`
+	Generated     uint64 `json:"generated"`
+	PrunedByBound uint64 `json:"pruned_by_bound"`
+	DuplicateHits uint64 `json:"duplicate_hits"`
+	PeakTable     uint64 `json:"peak_table"`
+}
+
+// SweepRequest runs named experiments.  An empty IDs list runs the whole
+// suite.
+type SweepRequest struct {
+	IDs []string `json:"ids,omitempty"`
+	// Stable omits per-experiment wall times so repeated sweeps are
+	// byte-identical (the -stable flag of pcbench).
+	Stable bool `json:"stable,omitempty"`
+	// Workers is the experiment pool size (0 = one per CPU, 1 = sequential).
+	Workers int `json:"workers,omitempty"`
+	// Solver selects the simplex implementation ("revised" or "flat";
+	// default "revised").
+	Solver string `json:"solver,omitempty"`
+}
+
+// SweepResponse is the result of a sweep.  Its encoding (see EncodeSweep) is
+// byte-identical to `pcbench -json` output for the same configuration.
+type SweepResponse struct {
+	Solver  string          `json:"solver"`
+	Results []TableWire     `json:"results"`
+	LP      LPCountersWire  `json:"lp"`
+	Opt     OptCountersWire `json:"opt"`
+}
+
+// StatsResponse reports service-level counters (GET /v1/stats).
+type StatsResponse struct {
+	Shards       int    `json:"shards"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Coalesced    uint64 `json:"coalesced"`
+	Evictions    uint64 `json:"evictions"`
+	Computed     uint64 `json:"computed"`
+	Sweeps       uint64 `json:"sweeps"`
+}

@@ -1,0 +1,18 @@
+package workload
+
+import "fmt"
+
+// ParseAssignment resolves a disk-assignment strategy by name ("stripe",
+// "partition" or "random").  It is the inverse of DiskAssignment.String and
+// is used by the command-line tools and the sweep service's wire format.
+func ParseAssignment(name string) (DiskAssignment, error) {
+	switch name {
+	case "", "stripe":
+		return AssignStripe, nil
+	case "partition":
+		return AssignPartition, nil
+	case "random":
+		return AssignRandom, nil
+	}
+	return 0, fmt.Errorf("workload: unknown disk assignment %q (want stripe, partition or random)", name)
+}

@@ -3,9 +3,20 @@
 # experiment suite as machine-readable JSON, run sequentially (-workers 1)
 # and without wall times (-stable) so the output is byte-reproducible.
 #
-# Usage: scripts/bench.sh [output-file]     (default BENCH_1.json)
+# Usage: scripts/bench.sh [output-file]
+#
+# Without an argument the output goes to the next unused BENCH_N.json, so a
+# new PR appends a trajectory point instead of silently overwriting the
+# oldest one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_1.json}"
+out="${1:-}"
+if [ -z "$out" ]; then
+	n=1
+	while [ -e "BENCH_${n}.json" ]; do
+		n=$((n + 1))
+	done
+	out="BENCH_${n}.json"
+fi
 go run ./cmd/pcbench -json -stable -workers 1 > "$out"
 echo "wrote $out"
