@@ -230,14 +230,20 @@ func e7SizedModel(b *testing.B) *lpmodel.Model {
 }
 
 // benchLPSolve measures repeated solves of the E7-sized model with a reused
-// Solver: the steady-state cost of one simplex solve in the sweeps.  One
-// untimed warm-up solve populates the buffers so even -benchtime 1x (the CI
-// allocation guard) reports the steady-state allocs/op.
+// Solver: the steady-state cost of one simplex solve in the sweeps.  A few
+// untimed warm-up solves populate the buffers — the first runs the cold
+// path, the rest the warm-started path a re-solved Model takes (the model
+// captures its optimal basis, so every subsequent solve replays it; the LU
+// workspace keeps growing for a couple of factorizations because each one
+// permutes the basis rows) — so even -benchtime 1x (the CI allocation
+// guard) reports the steady-state allocs/op.
 func benchLPSolve(b *testing.B, opts lp.Options) {
 	m := e7SizedModel(b)
 	solver := lp.NewSolver()
-	if _, err := m.SolveWith(solver, opts); err != nil {
-		b.Fatal(err)
+	for warmup := 0; warmup < 4; warmup++ {
+		if _, err := m.SolveWith(solver, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

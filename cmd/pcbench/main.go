@@ -13,10 +13,19 @@
 //	pcbench -json -stable   # omit wall times, for byte-reproducible JSON
 //	pcbench -workers 1      # force sequential execution
 //	pcbench -solver flat    # solve the LPs with the flat-tableau simplex
+//	pcbench -pricing steepest-edge  # override the pinned entering-column rule
+//	pcbench -basis lu       # override the pinned basis representation
+//	pcbench -timings f      # embed ns/op figures parsed from a `go test
+//	                        # -bench` output file as the JSON timings block
 //	pcbench -cpuprofile f   # write a pprof CPU profile of the run to f
 //	pcbench -memprofile f   # write a pprof heap profile after the run to f
 //	pcbench -serve-url URL  # run the sweep on a live pcserve and verify it
 //	                        # matches the in-process run byte for byte
+//
+// The experiment suite pins the revised simplex to the engines the committed
+// BENCH_*.json files were recorded with (Dantzig pricing, eta basis) so
+// historical schedule rows stay byte-reproducible; -pricing and -basis
+// select the new engines (steepest-edge, lu) for comparisons.
 //
 // The -json output is produced by service.RunSweep, the same code path the
 // pcserve /v1/sweep endpoint streams; with -serve-url, pcbench becomes a
@@ -32,8 +41,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"pfcache/internal/experiments"
@@ -53,6 +64,9 @@ func run() int {
 	stable := flag.Bool("stable", false, "omit wall times from -json output so repeated runs are byte-identical")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
+	pricing := flag.String("pricing", "", "revised-simplex pricing rule: steepest-edge or dantzig (default: the suite's pinned dantzig)")
+	basis := flag.String("basis", "", "revised-simplex basis representation: lu or eta (default: the suite's pinned eta)")
+	timings := flag.String("timings", "", "file holding `go test -bench` output whose ns/op figures are embedded in the -json timings block")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	serveURL := flag.String("serve-url", "", "run the sweep via a live pcserve at this base URL and verify it matches the in-process run")
@@ -69,11 +83,36 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	if *pricing != "" {
+		if _, err := lp.ParsePricing(*pricing); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if *basis != "" {
+		if _, err := lp.ParseBasis(*basis); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	var benchTimings map[string]float64
+	if *timings != "" {
+		if !*jsonOut {
+			fmt.Fprintln(os.Stderr, "-timings requires -json (the timings block only exists in the JSON trajectory format)")
+			return 2
+		}
+		var err error
+		if benchTimings, err = parseTimings(*timings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
 	var ids []string
 	if *runFlag != "" {
 		ids = strings.Split(*runFlag, ",")
 	}
-	req := &service.SweepRequest{IDs: ids, Stable: *stable, Workers: *workers, Solver: *solver}
+	req := &service.SweepRequest{IDs: ids, Stable: *stable, Workers: *workers,
+		Solver: *solver, Pricing: *pricing, Basis: *basis}
 	if _, err := service.ResolveExperiments(req.IDs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -89,6 +128,10 @@ func run() int {
 		}
 		if *cpuProfile != "" || *memProfile != "" {
 			fmt.Fprintln(os.Stderr, "-serve-url cannot be combined with -cpuprofile/-memprofile (the sweep runs on the server)")
+			return 2
+		}
+		if *timings != "" {
+			fmt.Fprintln(os.Stderr, "-serve-url cannot be combined with -timings (the server's sweep carries no local benchmark figures)")
 			return 2
 		}
 		return runAgainstServer(*serveURL, req)
@@ -110,8 +153,8 @@ func run() int {
 
 	code := 0
 	if *jsonOut {
-		// The sweep runner resets and snapshots the process-wide counters
-		// and is shared with the pcserve /v1/sweep endpoint, so CLI and
+		// The sweep runner snapshots the process-wide counters around the
+		// run and is shared with the pcserve /v1/sweep endpoint, so CLI and
 		// service output are the same bytes.  Print whatever completed even
 		// when some experiment failed, so one broken experiment does not
 		// hide the others' results.
@@ -121,6 +164,7 @@ func run() int {
 			code = 1
 		}
 		if resp != nil {
+			resp.Timings = benchTimings
 			if encErr := service.EncodeSweep(os.Stdout, resp); encErr != nil {
 				fmt.Fprintln(os.Stderr, encErr)
 				code = 1
@@ -147,11 +191,53 @@ func run() int {
 	return code
 }
 
+// timingLine matches one `go test -bench` result line, capturing the
+// benchmark name (CPU suffix stripped) and its ns/op figure.
+var timingLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseTimings reads a `go test -bench` output file and returns the ns/op of
+// every benchmark line in it, for the JSON timings block.  Non-benchmark
+// lines (experiment tables, PASS/ok trailers) are ignored.
+func parseTimings(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		m := timingLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = ns
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pcbench: no benchmark lines found in %s", path)
+	}
+	return out, nil
+}
+
 // runText prints aligned text tables (or CSV) straight from the experiment
 // driver.
 func runText(req *service.SweepRequest, csv bool) int {
 	method, _ := lp.ParseMethod(req.Solver)
 	experiments.SetSolverMethod(method)
+	if req.Pricing != "" {
+		p, _ := lp.ParsePricing(req.Pricing)
+		experiments.SetPricing(p)
+	} else {
+		experiments.ResetPricing()
+	}
+	if req.Basis != "" {
+		b, _ := lp.ParseBasis(req.Basis)
+		experiments.SetBasis(b)
+	} else {
+		experiments.ResetBasis()
+	}
 	experiments.SetWorkers(req.Workers)
 	selected, _ := service.ResolveExperiments(req.IDs)
 	results, err := experiments.RunAll(selected)

@@ -49,9 +49,21 @@ func run() int {
 	cacheEntries := flag.Int("cache", 1024, "schedule result cache capacity in entries (0 disables)")
 	workers := flag.Int("workers", 0, "experiment pool size for sweeps (0 = one per CPU)")
 	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
+	pricing := flag.String("pricing", "steepest-edge", "revised-simplex pricing rule for schedule requests: steepest-edge or dantzig")
+	basis := flag.String("basis", "lu", "revised-simplex basis representation for schedule requests: lu or eta")
 	flag.Parse()
 
 	method, err := lp.ParseMethod(*solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pricingRule, err := lp.ParsePricing(*pricing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	basisMethod, err := lp.ParseBasis(*basis)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -61,6 +73,8 @@ func run() int {
 		Shards:       *shards,
 		CacheEntries: *cacheEntries,
 		Solver:       method,
+		Pricing:      pricingRule,
+		Basis:        basisMethod,
 		Workers:      *workers,
 	})
 	defer srv.Close()

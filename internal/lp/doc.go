@@ -13,25 +13,67 @@
 //
 // Phase one minimises the sum of artificial variables to find a basic
 // feasible solution (detecting infeasibility), phase two optimises the real
-// objective (detecting unboundedness).  Pivoting uses Dantzig's rule over a
-// candidate list (partial pricing: a full reduced-cost sweep refills the
-// list only when every remembered column has turned unattractive) with an
-// automatic switch to Bland's rule when the objective stalls, which
-// guarantees termination on degenerate problems.
+// objective (detecting unboundedness).
+//
+// # The revised simplex and its inner engines
 //
 // The production implementation (Options.Method == MethodRevised, the
-// default) is a revised simplex: the constraint matrix is kept in a
-// read-only compressed sparse column form built once per Problem, the basis
-// inverse is a product-form eta file (one eta column per pivot), and each
-// pivot performs a BTRAN solve for the duals, prices candidates as sparse
-// column dot products, FTRANs the entering column for the ratio test, and
-// updates the basic values in O(rows) — so pivot cost is proportional to the
-// nonzeros touched instead of the O(rows x cols) dense Gauss-Jordan update.
-// The eta file is rebuilt from scratch (refactorized) after RefactorEvery
-// pivots or when the basic values drift from B^-1 b beyond tolerance, which
-// bounds both its length and the accumulated round-off.  The paper's
-// synchronized-schedule LPs are about 1% dense, which makes the revised path
-// several times faster than the flat tableau at experiment sizes.
+// default) is a revised simplex.  The constraint matrix is kept in a
+// read-only compressed sparse column form built once per Problem (with a CSR
+// twin for row reads, see sparse.go); slack and artificial columns are
+// singletons handled symbolically.  Its two inner engines are selectable:
+//
+// Pricing (Options.Pricing, pricing.go).  The default PricingSteepestEdge is
+// a projected steepest edge: the entering column maximises rc_j^2 / gamma_j,
+// where gamma_j approximates the projected column norm 1 + |B^-1 A_j|^2
+// through Devex-style reference weights.  The engine maintains the whole
+// reduced-cost vector incrementally from the pivot row (one BTRAN of the
+// leaving row's unit vector, whose support assembles the pivot row sparsely
+// through the CSR view), so a pivot costs one FTRAN, one BTRAN and a pass
+// over the pivot row's fill — there is no per-pivot duals solve and no
+// per-pivot repricing.  The entering column's exact weight is read off its
+// FTRAN each pivot; when the stored weight has drifted beyond seDriftRatio
+// the whole reference framework resets to unit weights (the Devex fallback).
+// Maintained reduced costs are confirmed against freshly computed duals
+// before optimality is declared, so incremental round-off can never
+// terminate a solve early.  The leaving row breaks ratio-test ties towards
+// basic artificials and then the largest pivot element (ratioTestSE).
+// PricingDantzig keeps the PR-1/PR-2 rule — most negative reduced cost over
+// a candidate list, duals recomputed per pivot — as the reference
+// implementation and the rule the experiment suite pins for reproducing the
+// committed BENCH_*.json schedule values.  Both rules fall back to Bland's
+// rule after a run of degenerate pivots, which guarantees termination.
+//
+// Basis (Options.Basis, lu.go/eta.go).  The default BasisLU factorizes the
+// basis as a sparse LU: right-looking Gaussian elimination with
+// Markowitz-style pivoting (minimum-count column from a bucket queue,
+// minimum-row-count row within threshold partial pivoting at luPivotRel),
+// BTRAN/FTRAN solved against the triangular factors directly, and fill-in
+// tracked in Solution.LUFills.  Between refactorizations each pivot appends
+// its FTRAN'd column as a product-form update in U-space — the
+// untriangularised form of the Forrest–Tomlin column update — so the factors
+// stay frozen and the update file stays short (refactorization every
+// RefactorEvery pivots, or earlier when B·xB drifts from b beyond
+// tolerance).  BasisEta keeps the PR-2 representation — a pure product-form
+// eta file rebuilt from scratch at every refactorization — as the reference;
+// on the experiment-sized LPs the LU factors hold an order of magnitude
+// fewer nonzeros than the reinversion's eta columns, which is where most of
+// the revised path's speedup over PR-2 comes from.
+//
+// # Warm starts
+//
+// A solve can start from the optimal basis of an earlier solve instead of
+// the phase-1 crash basis: Solver.SolveFrom replays an explicit WarmBasis
+// snapshot (captured via Options.CaptureBasis into Solution.Basis), and
+// Options.WarmStart replays the Solver's own last optimal basis.  The
+// snapshot transfers only when the target problem has the same shape (rows,
+// variables, constraint senses), refactorizes without going singular, and
+// yields a primal feasible point; otherwise the solve silently cold-starts,
+// so warm starting is always safe to request.  On the identical problem a
+// warm start terminates without a single pivot at the donor's vertex — the
+// contract the E8 row loop (lower-bound solve then planning solve of the
+// same instance) and the service shards rely on, and what makes warm-started
+// sweeps solve in half the pivots of cold ones.
 //
 // The PR-1 flat-tableau implementation survives behind MethodFlat — one
 // contiguous row-major []float64 with the artificial columns as a trailing
@@ -39,13 +81,14 @@
 // flat vs the retired dense reference) and as the automatic fallback should
 // a refactorization ever go numerically singular.
 //
-// Every working buffer of both implementations lives on a reusable Solver,
-// so repeated solves — the experiment sweeps solve hundreds of similar-sized
+// Every working buffer of all engines lives on a reusable Solver, so
+// repeated solves — the experiment sweeps solve hundreds of similar-sized
 // programs — run without allocating in steady state.  The package-level
 // Solve draws Solvers from an internal pool; Solution carries pivot,
-// pricing-pass, refactorization, eta-column and allocation counters, and
-// StatsSnapshot aggregates them process-wide, so performance regressions are
-// observable in benchmarks and in pcbench's JSON trajectory files.
+// pricing-pass, refactorization, eta-column, LU-fill, warm-start and
+// allocation counters, and StatsSnapshot aggregates them process-wide, so
+// performance regressions are observable in benchmarks, in pcbench's JSON
+// trajectory files, and on a live pcserve's /v1/stats.
 //
 // Numbers are float64 with explicit tolerances; the prefetching LPs are
 // small and well scaled, and the experiment harness cross-checks the LP

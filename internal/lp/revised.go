@@ -5,9 +5,10 @@ import (
 	"math"
 )
 
-// errSingularBasis reports a refactorization that could not complete because
-// a basis column collapsed numerically; Solver.Solve catches it and reruns
-// the solve on the flat path.
+// errSingularBasis reports a (re)factorization that could not complete
+// because a basis column collapsed numerically; Solver.Solve catches it and
+// reruns the solve on the flat path, and a warm start that trips it falls
+// back to a cold start.
 var errSingularBasis = errors.New("lp: singular basis during refactorization")
 
 // driftCheckEvery is how often (in pivots) the revised solver verifies
@@ -15,17 +16,18 @@ var errSingularBasis = errors.New("lp: singular basis during refactorization")
 // early refactorization.
 const driftCheckEvery = 48
 
-// driftTol is the absolute residual above which the eta file is considered
-// numerically stale.
+// driftTol is the absolute residual above which the factored basis inverse
+// is considered numerically stale.
 const driftTol = 1e-7
 
 // revisedSolver is the revised simplex: the constraint matrix is kept in the
 // read-only CSC form cached on the Problem (built once, see Problem.csc), the
-// basis inverse is a product-form eta file (one eta column per pivot,
-// refactorized from scratch when the file grows past RefactorEvery pivots or
-// when B·xB drifts from b), and every pivot is a BTRAN solve for the duals, a
-// price over the candidate list, an FTRAN solve of the entering column, and
-// an O(rows) update of the basic values — no dense tableau anywhere.
+// basis inverse is a sparse LU factorization with product-form update etas
+// between refactorizations (or a pure eta file behind Options.Basis ==
+// BasisEta), and every pivot is a BTRAN solve for the duals, a price over the
+// candidate list (steepest-edge by default, see pricing.go), an FTRAN solve
+// of the entering column, and an O(rows) update of the basic values — no
+// dense tableau anywhere.
 type revisedSolver struct {
 	p   *Problem
 	tol float64
@@ -49,49 +51,109 @@ type revisedSolver struct {
 	alpha   []float64 // primal scratch: FTRAN of the entering column
 	work    []float64 // refactorization / drift-check scratch
 	rc      []float64 // reduced-cost scratch for full pricing passes
+	gamma   []float64 // steepest-edge reference weights, per column
+	rho     []float64 // dual scratch: BTRAN of the leaving row's unit vector
 	cand    []int
 	colBuf  []int // basis snapshot during refactorization
 
-	eta           etaFile
+	// Sparse pivot-row assembly state for the steepest-edge engine: per-row
+	// singleton lookups and an epoch-stamped structural-column accumulator.
+	rowSlack []int32   // row -> slack offset or -1
+	rowArt   []int32   // row -> artificial offset or -1
+	accVal   []float64 // per structural column: accumulated pivot-row entry
+	accMark  []int32   // accMark[j] == accEpoch marks accVal[j] as current
+	touched  []int32   // structural columns assembled this pivot
+	accEpoch int32
+
+	eta           etaFile  // update etas (BasisLU) or the whole inverse (BasisEta)
+	lu            luFactor // factored basis (BasisLU only)
+	pricing       Pricing
+	basisMode     BasisMethod
 	refactorEvery int
 	sinceRefactor int // pivot etas appended since the last refactorization
 	sincePivot    int // pivots since the last drift check
 
-	phase int
+	phase     int
+	alphaNorm float64 // |alpha|^2, accumulated by ratioTest for enterWeight
 
 	iterations  int
 	phase1Iters int
 	fullPasses  int
 	refactors   int
 	etaColumns  int
+	luFills     int
+	seResets    int
 	allocs      int
+	warmStarted bool
+
+	// capture and keepWarm are set from Options; lastWarm is the internal
+	// snapshot Options.WarmStart replays on the next same-shaped solve.
+	capture  bool
+	keepWarm bool
+	haveWarm bool
+	lastWarm WarmBasis
 }
 
-// solve runs the two-phase revised simplex.
-func (r *revisedSolver) solve(p *Problem, opts Options, tol float64) (*Solution, error) {
+// solve runs the two-phase revised simplex.  A non-nil warm basis is tried
+// first: when it transfers to this problem the solve starts in phase two
+// from it, otherwise the ordinary cold start runs.
+func (r *revisedSolver) solve(p *Problem, opts Options, tol float64, warm *WarmBasis) (*Solution, error) {
 	r.p = p
 	defer func() { r.p = nil; r.m = nil }() // do not retain the problem
 	r.tol = tol
+	r.pricing = opts.Pricing
+	r.basisMode = opts.Basis
+	r.capture = opts.CaptureBasis
+	r.keepWarm = opts.WarmStart
 	r.iterations = 0
 	r.phase1Iters = 0
 	r.fullPasses = 0
 	r.refactors = 0
 	r.etaColumns = 0
+	r.luFills = 0
+	r.seResets = 0
 	r.allocs = 0
+	r.warmStarted = false
 	r.load(p)
 
 	r.refactorEvery = opts.RefactorEvery
 	if r.refactorEvery <= 0 {
-		// The eta file costs O(rows) per column to apply, the refactorization
-		// O(rows) FTRANs; capping the file around the row count balances the
-		// two while keeping FTRAN/BTRAN far below one dense tableau sweep.
+		// The update etas cost O(rows) per column to apply, the
+		// refactorization one sparse elimination (or O(rows) FTRANs on the
+		// eta path); capping the file around the row count balances the two
+		// while keeping FTRAN/BTRAN far below one dense tableau sweep.  The
+		// LU elimination is cheap enough that a shorter file (more frequent
+		// refactorization) wins on the larger experiment sizes.
 		r.refactorEvery = r.rows/2 + 32
-		if r.refactorEvery > 128 {
-			r.refactorEvery = 128
+		cap := 128
+		if r.basisMode == BasisLU {
+			cap = 96
+		}
+		if r.refactorEvery > cap {
+			r.refactorEvery = cap
 		}
 	}
 
 	maxIter := maxIterations(opts, r.rows, r.cols)
+
+	if warm != nil {
+		if r.installBasis(warm) {
+			r.warmStarted = true
+			r.setPhase(2)
+			status, err := r.optimize(maxIter)
+			if err != nil {
+				return nil, err
+			}
+			switch status {
+			case StatusIterLimit, StatusUnbounded:
+				return r.solution(status, p), nil
+			}
+			return r.solution(StatusOptimal, p), nil
+		}
+		// The failed install may have half-built a factorization over the
+		// snapshot's basis: reload the crash basis and cold-start.
+		r.load(p)
+	}
 
 	// Phase one: minimise the sum of artificial variables.
 	if r.numArt > 0 {
@@ -126,8 +188,8 @@ func (r *revisedSolver) solve(p *Problem, opts Options, tol float64) (*Solution,
 }
 
 // load fetches the problem's CSC matrix and installs the initial slack/
-// artificial basis, which is the identity (so the eta file starts empty and
-// exact).
+// artificial basis, which is the identity (so the factored inverse starts
+// empty and exact).
 func (r *revisedSolver) load(p *Problem) {
 	r.m = p.csc()
 	rows := r.m.rows
@@ -162,34 +224,54 @@ func (r *revisedSolver) load(p *Problem) {
 	clear(r.alpha)
 	r.work = grabFloats(r.work, rows, &r.allocs)
 	r.rc = grabFloats(r.rc, r.cols, &r.allocs)
-	if r.cand == nil {
+	r.gamma = grabFloats(r.gamma, r.cols, &r.allocs)
+	r.rho = grabFloats(r.rho, rows, &r.allocs)
+	if cap(r.cand) < seCandListSize {
 		r.allocs++
-		r.cand = make([]int, 0, candListSize)
+		r.cand = make([]int, 0, seCandListSize)
 	}
 	r.cand = r.cand[:0]
 	r.colBuf = grabInts(r.colBuf, rows, &r.allocs)
+	r.rowSlack = grabInt32s(r.rowSlack, rows, &r.allocs)
+	r.rowArt = grabInt32s(r.rowArt, rows, &r.allocs)
+	r.accVal = grabFloats(r.accVal, r.numVars, &r.allocs)
+	r.accMark = grabInt32s(r.accMark, r.numVars, &r.allocs)
+	clear(r.accMark)
+	r.accEpoch = 0
+	if cap(r.touched) < r.numVars {
+		r.allocs++
+		r.touched = make([]int32, 0, r.numVars)
+	}
+	r.touched = r.touched[:0]
 	r.eta.reset()
+	r.lu.reset()
 	r.sinceRefactor = 0
 	r.sincePivot = 0
 
 	slackIdx, artIdx := 0, 0
 	for i := 0; i < rows; i++ {
 		r.xB[i] = r.m.b[i]
+		r.rowSlack[i] = -1
+		r.rowArt[i] = -1
 		switch r.m.sense[i] {
 		case LE:
 			r.slackRow[slackIdx] = i
 			r.slackSign[slackIdx] = 1
+			r.rowSlack[i] = int32(slackIdx)
 			r.setBasic(i, r.numVars+slackIdx)
 			slackIdx++
 		case GE:
 			r.slackRow[slackIdx] = i
 			r.slackSign[slackIdx] = -1
+			r.rowSlack[i] = int32(slackIdx)
 			slackIdx++
 			r.artRow[artIdx] = i
+			r.rowArt[i] = int32(artIdx)
 			r.setBasic(i, r.artLo+artIdx)
 			artIdx++
 		case EQ:
 			r.artRow[artIdx] = i
+			r.rowArt[i] = int32(artIdx)
 			r.setBasic(i, r.artLo+artIdx)
 			artIdx++
 		}
@@ -222,6 +304,25 @@ func (r *revisedSolver) scatterCol(j int, out []float64) {
 		out[r.slackRow[j-r.numVars]] += r.slackSign[j-r.numVars]
 	default:
 		out[r.artRow[j-r.artLo]] += 1
+	}
+}
+
+// ftranB applies the current basis inverse to v in place: the LU factors
+// followed by the (oldest-first) update etas, or the whole eta file on the
+// BasisEta path.
+func (r *revisedSolver) ftranB(v []float64) {
+	if r.basisMode == BasisLU {
+		r.lu.ftran(v)
+	}
+	r.eta.ftran(v)
+}
+
+// btranB applies the transposed basis inverse to v in place: the update etas
+// newest-first, then the transposed LU factors.
+func (r *revisedSolver) btranB(v []float64) {
+	r.eta.btran(v)
+	if r.basisMode == BasisLU {
+		r.lu.btran(v)
 	}
 }
 
@@ -265,7 +366,7 @@ func (r *revisedSolver) computeDuals() {
 	for i := 0; i < r.rows; i++ {
 		r.y[i] = r.costs[r.basis[i]]
 	}
-	r.eta.btran(r.y)
+	r.btranB(r.y)
 }
 
 // reducedCost prices one column against the duals in r.y.
@@ -336,43 +437,92 @@ func (r *revisedSolver) priceBland() int {
 }
 
 // optimize runs revised simplex pivots for the current phase until
-// optimality, unboundedness or the iteration limit, with the same pricing
-// policy as the flat path (Dantzig over a candidate list, Bland after a run
-// of degenerate pivots).
+// optimality, unboundedness or the iteration limit, pricing with the
+// configured rule (steepest-edge or Dantzig over the shared candidate list,
+// Bland after a run of degenerate pivots).
 func (r *revisedSolver) optimize(maxIter int) (Status, error) {
 	degenerate := 0
 	lastObj := r.objectiveValue()
 	r.cand = r.cand[:0]
+	steepest := r.pricing == PricingSteepestEdge
+	if steepest {
+		r.resetReference()
+		r.seResets-- // the per-phase reset is bookkeeping, not drift
+		r.refreshRC()
+	}
 	for {
 		if r.iterations >= maxIter {
 			return StatusIterLimit, nil
 		}
-		r.computeDuals()
+		bland := degenerate >= degenerateSwitch
 		var enter int
-		if degenerate >= degenerateSwitch {
+		switch {
+		case steepest && bland:
+			enter = r.priceBlandSE()
+			if enter < 0 {
+				r.refreshRC()
+				enter = r.priceBlandSE()
+			}
+		case steepest:
+			enter = r.priceSteepest()
+			if enter < 0 {
+				// The maintained reduced costs say optimal; confirm against
+				// freshly computed duals before declaring it, so incremental
+				// round-off can never terminate a solve early.
+				r.refreshRC()
+				enter = r.refillSE()
+			}
+		case bland:
+			r.computeDuals()
 			enter = r.priceBland()
-		} else {
+		default:
+			r.computeDuals()
 			enter = r.priceDantzig()
 		}
 		if enter < 0 {
 			return StatusOptimal, nil
 		}
 		r.ftranColumn(enter)
-		leave := r.ratioTest()
+		var leave int
+		if steepest && !bland {
+			leave = r.ratioTestSE()
+		} else {
+			// Bland's anti-cycling guarantee needs smallest-index selection
+			// on BOTH sides of the pivot, so the fallback pairs its entering
+			// rule with the classic smallest-basis-index ratio test even in
+			// steepest-edge mode.
+			leave = r.ratioTest()
+		}
 		if leave < 0 {
 			return StatusUnbounded, nil
+		}
+		var gq float64
+		if steepest {
+			gq = r.enterWeight(enter)
+			// The pivot's objective decrease is theta * |rc_enter|; reading
+			// it off the maintained reduced costs replaces the O(rows)
+			// objective evaluation of the Dantzig path.  Do it before
+			// seUpdate pins rc[enter] to zero.
+			if r.xB[leave]/r.alpha[leave]*-r.rc[enter] <= r.tol {
+				degenerate++
+			} else {
+				degenerate = 0
+			}
+			r.seUpdate(enter, leave, gq)
 		}
 		if err := r.pivot(leave, enter); err != nil {
 			return 0, err
 		}
 		r.iterations++
-		obj := r.objectiveValue()
-		if obj >= lastObj-r.tol {
-			degenerate++
-		} else {
-			degenerate = 0
+		if !steepest {
+			obj := r.objectiveValue()
+			if obj >= lastObj-r.tol {
+				degenerate++
+			} else {
+				degenerate = 0
+			}
+			lastObj = obj
 		}
-		lastObj = obj
 	}
 }
 
@@ -381,17 +531,21 @@ func (r *revisedSolver) optimize(maxIter int) (Status, error) {
 func (r *revisedSolver) ftranColumn(enter int) {
 	clear(r.alpha)
 	r.scatterCol(enter, r.alpha)
-	r.eta.ftran(r.alpha)
+	r.ftranB(r.alpha)
 }
 
 // ratioTest picks the leaving row for the FTRAN'd entering column in
 // r.alpha, breaking ties towards the smallest basis index (the same
-// lexicographic anti-cycling bias as the flat path).
+// lexicographic anti-cycling bias as the flat path).  The sweep also
+// accumulates |alpha|^2 into r.alphaNorm for the steepest-edge engine's
+// exact entering weight, saving it a second pass over the column.
 func (r *revisedSolver) ratioTest() int {
 	leave := -1
 	bestRatio := math.Inf(1)
+	norm := 0.0
 	for i := 0; i < r.rows; i++ {
 		aij := r.alpha[i]
+		norm += aij * aij
 		if aij <= r.tol {
 			continue
 		}
@@ -402,21 +556,83 @@ func (r *revisedSolver) ratioTest() int {
 			leave = i
 		}
 	}
+	r.alphaNorm = norm
+	return leave
+}
+
+// ratioTestSE is the steepest-edge engine's leaving-row rule: the same
+// minimum-ratio test, but ties broken first towards rows whose basic
+// variable is artificial (driving infeasibility carriers out early) and then
+// towards the largest pivot element (numerical stability), instead of the
+// smallest basis index.  Termination on degenerate stretches is still
+// guaranteed by the Bland fallback in optimize.
+func (r *revisedSolver) ratioTestSE() int {
+	leave := -1
+	bestRatio := math.Inf(1)
+	bestArt := false
+	bestAbs := 0.0
+	norm := 0.0
+	for i := 0; i < r.rows; i++ {
+		aij := r.alpha[i]
+		norm += aij * aij
+		if aij <= r.tol {
+			continue
+		}
+		ratio := r.xB[i] / aij
+		if ratio < bestRatio-r.tol {
+			bestRatio, leave = ratio, i
+			bestArt = r.basis[i] >= r.artLo
+			bestAbs = aij
+			continue
+		}
+		if math.Abs(ratio-bestRatio) > r.tol {
+			continue
+		}
+		art := r.basis[i] >= r.artLo
+		if art != bestArt {
+			if art {
+				bestRatio, leave, bestArt, bestAbs = ratio, i, true, aij
+			}
+			continue
+		}
+		if aij > bestAbs {
+			bestRatio, leave, bestAbs = ratio, i, aij
+		}
+	}
+	r.alphaNorm = norm
 	return leave
 }
 
 // pivot applies the basis change for the entering column whose FTRAN is in
-// r.alpha: update the basic values, append an eta column, and refactorize
+// r.alpha: update the basic values, append an update eta, and refactorize
 // when the file is long or the basic values have drifted.
 func (r *revisedSolver) pivot(leave, enter int) error {
 	theta := r.xB[leave] / r.alpha[leave]
+	// One fused sweep over the FTRAN'd column updates the basic values and
+	// writes the update eta's off-pivot entries (what etaFile.push would do
+	// in a second pass).
+	e := &r.eta
+	if len(e.pivRow) == cap(e.pivRow) {
+		r.allocs++
+	}
+	e.pivRow = append(e.pivRow, int32(leave))
+	e.pivInv = append(e.pivInv, 1/r.alpha[leave])
 	for i := 0; i < r.rows; i++ {
-		if a := r.alpha[i]; a != 0 && i != leave {
-			r.xB[i] -= theta * a
+		a := r.alpha[i]
+		if a == 0 || i == leave {
+			continue
+		}
+		r.xB[i] -= theta * a
+		if a > etaDrop || a < -etaDrop {
+			if len(e.idx) == cap(e.idx) {
+				r.allocs++
+			}
+			e.idx = append(e.idx, int32(i))
+			e.val = append(e.val, a)
 		}
 	}
+	e.start = append(e.start, int32(len(e.idx)))
 	r.xB[leave] = theta
-	r.eta.push(r.alpha, leave, &r.allocs)
 	r.etaColumns++
 	r.inBasis[r.basis[leave]] = false
 	r.setBasic(leave, enter)
@@ -464,17 +680,37 @@ func (r *revisedSolver) residual() float64 {
 	return worst
 }
 
-// refactorize rebuilds the eta file from scratch for the current basis
-// (product-form reinversion): each basic column is FTRAN'd through the
-// partial file and pivots on its largest remaining entry.  Singleton slack
-// and artificial columns are processed first so they contribute unit etas
-// and the structural columns fill against as short a file as possible.  The
-// basic values are then recomputed as B^-1 b, clearing accumulated drift.
-// Rows may be reassigned to different basic variables by the pivot-row
-// choice, which is harmless: basis[i] names the variable whose value lives
-// in row i.
+// refactorize rebuilds the basis inverse from scratch for the current basis
+// and recomputes the basic values as B^-1 b, clearing accumulated drift.
+// Rows may be reassigned to different basic variables by the pivot choices,
+// which is harmless: basis[i] names the variable whose value lives in row i.
+//
+// On the BasisLU path this is one sparse Markowitz elimination (lu.go); the
+// update eta file is emptied because the fresh factors absorb it.  On the
+// BasisEta path it is the PR-2 product-form reinversion: each basic column
+// is FTRAN'd through the partial file and pivots on its largest remaining
+// entry, singleton slack and artificial columns first so the structural
+// columns fill against as short a file as possible.
 func (r *revisedSolver) refactorize() error {
 	r.refactors++
+	if r.basisMode == BasisLU {
+		cols := r.colBuf[:r.rows]
+		copy(cols, r.basis)
+		if err := r.lu.factorize(r, cols); err != nil {
+			return err
+		}
+		r.luFills += r.lu.fills
+		for k, row := range r.lu.pivRow {
+			r.basis[row] = cols[r.lu.pivSlot[k]]
+		}
+		r.eta.reset()
+		copy(r.xB, r.m.b)
+		r.lu.ftran(r.xB)
+		r.sinceRefactor = 0
+		r.sincePivot = 0
+		return nil
+	}
+
 	r.eta.reset()
 	cols := r.colBuf[:r.rows]
 	copy(cols, r.basis)
@@ -529,7 +765,7 @@ func (r *revisedSolver) driveOutArtificials() error {
 		}
 		clear(r.work)
 		r.work[i] = 1
-		r.eta.btran(r.work)
+		r.btranB(r.work)
 		pivoted := false
 		for j := 0; j < r.artLo; j++ {
 			if r.inBasis[j] || math.Abs(r.colDot(r.work, j)) <= r.tol {
@@ -580,7 +816,8 @@ func (r *revisedSolver) extract() []float64 {
 	return x
 }
 
-// solution assembles the Solution for the given terminal status.
+// solution assembles the Solution for the given terminal status and, on an
+// optimal solve, captures the basis snapshots requested through Options.
 func (r *revisedSolver) solution(status Status, p *Problem) *Solution {
 	sol := &Solution{
 		Status:           status,
@@ -590,10 +827,20 @@ func (r *revisedSolver) solution(status Status, p *Problem) *Solution {
 		TableauAllocs:    r.allocs,
 		Refactorizations: r.refactors,
 		EtaColumns:       r.etaColumns,
+		LUFills:          r.luFills,
+		PricingRule:      r.pricing,
+		WarmStarted:      r.warmStarted,
 	}
 	if status == StatusOptimal {
 		sol.X = r.extract()
 		sol.Objective = p.Value(sol.X)
+		if r.capture {
+			sol.Basis = r.captureBasis()
+		}
+		if r.keepWarm {
+			r.snapshotInto(&r.lastWarm)
+			r.haveWarm = true
+		}
 	}
 	return sol
 }

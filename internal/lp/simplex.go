@@ -77,6 +77,47 @@ func ParseMethod(name string) (Method, error) {
 	}
 }
 
+// BasisMethod selects how the revised simplex represents the basis inverse.
+type BasisMethod int
+
+// Basis representations.
+const (
+	// BasisLU (the default) factorizes the basis as a sparse LU with
+	// Markowitz pivoting and solves BTRAN/FTRAN against the triangular
+	// factors, appending product-form update etas between refactorizations
+	// (see lu.go).
+	BasisLU BasisMethod = iota
+	// BasisEta is the PR-2 representation — a pure product-form eta file
+	// rebuilt from scratch at every refactorization — kept as the reference
+	// implementation.
+	BasisEta
+)
+
+// String names the basis representation.
+func (b BasisMethod) String() string {
+	switch b {
+	case BasisLU:
+		return "lu"
+	case BasisEta:
+		return "eta"
+	default:
+		return fmt.Sprintf("basis(%d)", int(b))
+	}
+}
+
+// ParseBasis resolves a basis-representation name ("lu" or "eta") as used by
+// command line flags.
+func ParseBasis(name string) (BasisMethod, error) {
+	switch name {
+	case "lu":
+		return BasisLU, nil
+	case "eta":
+		return BasisEta, nil
+	default:
+		return 0, fmt.Errorf("lp: unknown basis representation %q (want lu or eta)", name)
+	}
+}
+
 // Options tunes the solver.
 type Options struct {
 	// MaxIterations caps the total number of simplex pivots (0 means an
@@ -87,11 +128,26 @@ type Options struct {
 	// Method selects the simplex implementation; the zero value is
 	// MethodRevised.
 	Method Method
-	// RefactorEvery bounds the eta-file growth of the revised method: after
+	// RefactorEvery bounds the update-eta growth of the revised method: after
 	// this many pivots since the last refactorization the basis inverse is
 	// rebuilt from scratch (0 means an automatic threshold based on the row
 	// count).  Ignored by MethodFlat.
 	RefactorEvery int
+	// Pricing selects the entering-column rule of the revised method; the
+	// zero value is PricingSteepestEdge.  Ignored by MethodFlat (which always
+	// prices with Dantzig's rule).
+	Pricing Pricing
+	// Basis selects the basis-inverse representation of the revised method;
+	// the zero value is BasisLU.  Ignored by MethodFlat.
+	Basis BasisMethod
+	// WarmStart lets the revised method start from the optimal basis of the
+	// Solver's previous solve whenever that basis transfers to this problem
+	// (same shape, nonsingular, primal feasible), falling back to the
+	// ordinary phase-1 cold start otherwise.  Ignored by MethodFlat.
+	WarmStart bool
+	// CaptureBasis asks an optimal revised solve to snapshot its final basis
+	// into Solution.Basis, for replay through Solver.SolveFrom.
+	CaptureBasis bool
 }
 
 // Solution is the result of a solve.
@@ -120,9 +176,21 @@ type Solution struct {
 	// basis inverse from scratch (always 0 for MethodFlat).
 	Refactorizations int
 	// EtaColumns is the total number of eta columns appended to the basis
-	// inverse by the revised method, including those written during
-	// refactorizations (always 0 for MethodFlat).
+	// inverse by the revised method — update etas plus, on the BasisEta
+	// path, the columns written during refactorizations (always 0 for
+	// MethodFlat).
 	EtaColumns int
+	// LUFills is the total fill-in (entries beyond the basis columns' own
+	// nonzeros) created by the BasisLU factorizations of this solve.
+	LUFills int
+	// PricingRule is the entering-column rule the solve priced with.
+	PricingRule Pricing
+	// WarmStarted reports that the solve skipped phase one by starting from
+	// a transferred prior basis (see Options.WarmStart, Solver.SolveFrom).
+	WarmStarted bool
+	// Basis is the optimal basis snapshot requested by Options.CaptureBasis
+	// (nil otherwise or when the solve did not end optimal).
+	Basis *WarmBasis
 }
 
 const defaultTolerance = 1e-9
@@ -151,6 +219,15 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	return sol, err
 }
 
+// SolveFrom is Solve warm-started from an explicit basis snapshot (see
+// Solver.SolveFrom); a nil basis is an ordinary Solve.
+func SolveFrom(p *Problem, opts Options, from *WarmBasis) (*Solution, error) {
+	s := solverPool.Get().(*Solver)
+	sol, err := s.SolveFrom(p, opts, from)
+	solverPool.Put(s)
+	return sol, err
+}
+
 // Solver is a reusable two-phase primal simplex solver holding the working
 // state of both implementations (revised and flat), so a Solver that has seen
 // a problem of a given size solves subsequent problems of similar size
@@ -171,8 +248,28 @@ func NewSolver() *Solver { return &Solver{} }
 // reusing the solver's buffers.  A revised solve that hits a numerically
 // singular refactorization (which a correct basis never produces exactly,
 // only catastrophic round-off does) transparently falls back to the flat
-// path.
+// path.  With Options.WarmStart the revised method first tries the optimal
+// basis of this Solver's previous solve (see WarmBasis).
 func (s *Solver) Solve(p *Problem, opts Options) (*Solution, error) {
+	return s.SolveFrom(p, opts, nil)
+}
+
+// SolveFrom is Solve warm-started from an explicit basis snapshot (see
+// WarmBasis): when the snapshot transfers to this problem the solve skips
+// phase one entirely, and when it does not the ordinary cold start runs.
+// Only MethodRevised uses the snapshot.  A nil basis is an ordinary Solve —
+// except that with Options.WarmStart set, the Solver's own last optimal
+// basis stands in for it.
+func (s *Solver) SolveFrom(p *Problem, opts Options, from *WarmBasis) (*Solution, error) {
+	if opts.Method != MethodRevised {
+		from = nil
+	} else if from == nil && opts.WarmStart && s.rev.haveWarm {
+		from = &s.rev.lastWarm
+	}
+	return s.solve(p, opts, from)
+}
+
+func (s *Solver) solve(p *Problem, opts Options, warm *WarmBasis) (*Solution, error) {
 	tol := opts.Tolerance
 	if tol <= 0 {
 		tol = defaultTolerance
@@ -181,7 +278,7 @@ func (s *Solver) Solve(p *Problem, opts Options) (*Solution, error) {
 	var err error
 	switch opts.Method {
 	case MethodRevised:
-		sol, err = s.rev.solve(p, opts, tol)
+		sol, err = s.rev.solve(p, opts, tol, warm)
 		if err == errSingularBasis {
 			sol, err = s.flat.solve(p, opts, tol)
 		}

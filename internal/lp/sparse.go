@@ -19,6 +19,15 @@ type cscMatrix struct {
 	rowIdx []int32
 	val    []float64
 
+	// The transposed (CSR) view of the same entries: row i's nonzeros are
+	// colIdxR/valR[rowPtr[i]:rowPtr[i+1]], ordered by increasing column.
+	// The steepest-edge engine reads pivot rows through it: the pivot row of
+	// the tableau is a combination of the A-rows in the BTRAN'd unit
+	// vector's support, so its assembly costs only those rows' nonzeros.
+	rowPtr  []int32
+	colIdxR []int32
+	valR    []float64
+
 	// sense[i] is row i's effective sense after sign normalisation and b[i]
 	// its normalised (non-negative) right-hand side.
 	sense []Sense
@@ -70,6 +79,29 @@ func buildCSC(p *Problem) *cscMatrix {
 			m.rowIdx[at] = int32(i)
 			m.val[at] = sign * co.Value
 			next[co.Var] = at + 1
+		}
+	}
+
+	// CSR view: count, prefix-sum, and fill by sweeping the columns in
+	// order, which leaves every row's entries sorted by column.
+	m.rowPtr = make([]int32, rows+1)
+	m.colIdxR = make([]int32, len(m.rowIdx))
+	m.valR = make([]float64, len(m.val))
+	for _, i := range m.rowIdx {
+		m.rowPtr[i+1]++
+	}
+	for i := 0; i < rows; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	nextRow := make([]int32, rows)
+	copy(nextRow, m.rowPtr[:rows])
+	for j := 0; j < cols; j++ {
+		for s := m.colPtr[j]; s < m.colPtr[j+1]; s++ {
+			i := m.rowIdx[s]
+			at := nextRow[i]
+			m.colIdxR[at] = int32(j)
+			m.valR[at] = m.val[s]
+			nextRow[i] = at + 1
 		}
 	}
 	return m

@@ -14,15 +14,21 @@ type Counters struct {
 	// PricingPasses is the total number of full reduced-cost sweeps.
 	PricingPasses uint64
 	// Refactorizations is the total number of basis-inverse rebuilds
-	// performed by the revised method.
+	// performed by the revised method (LU factorizations or eta-file
+	// reinversions, per Options.Basis).
 	Refactorizations uint64
 	// EtaColumns is the total number of eta columns appended by the revised
-	// method (including refactorization fills).
+	// method (update etas, plus reinversion fills on the BasisEta path).
 	EtaColumns uint64
+	// LUFills is the total fill-in created by BasisLU factorizations.
+	LUFills uint64
+	// WarmStarts is the number of solves that skipped phase one by starting
+	// from a transferred prior basis.
+	WarmStarts uint64
 }
 
 var stats struct {
-	solves, iters, passes, refactors, etas atomic.Uint64
+	solves, iters, passes, refactors, etas, luFills, warmStarts atomic.Uint64
 }
 
 // recordSolve folds one finished solve into the package counters; callers
@@ -33,6 +39,10 @@ func recordSolve(sol *Solution) {
 	stats.passes.Add(uint64(sol.PricingPasses))
 	stats.refactors.Add(uint64(sol.Refactorizations))
 	stats.etas.Add(uint64(sol.EtaColumns))
+	stats.luFills.Add(uint64(sol.LUFills))
+	if sol.WarmStarted {
+		stats.warmStarts.Add(1)
+	}
 }
 
 // StatsSnapshot returns the current package-wide solve counters.
@@ -43,6 +53,8 @@ func StatsSnapshot() Counters {
 		PricingPasses:    stats.passes.Load(),
 		Refactorizations: stats.refactors.Load(),
 		EtaColumns:       stats.etas.Load(),
+		LUFills:          stats.luFills.Load(),
+		WarmStarts:       stats.warmStarts.Load(),
 	}
 }
 
@@ -53,4 +65,6 @@ func StatsReset() {
 	stats.passes.Store(0)
 	stats.refactors.Store(0)
 	stats.etas.Store(0)
+	stats.luFills.Store(0)
+	stats.warmStarts.Store(0)
 }

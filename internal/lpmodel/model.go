@@ -67,6 +67,13 @@ type Model struct {
 	startOff []int
 
 	gapBuf []int // scratch for gapIntervals
+
+	// warm is the basis seeding the next solve: captured automatically from
+	// this model's last optimal solve, or transplanted from a same-shaped
+	// model via WarmStart.  The solver falls back to a cold start whenever
+	// the basis does not transfer, so a stale or foreign basis is never
+	// unsafe — see lp.WarmBasis.
+	warm *lp.WarmBasis
 }
 
 // Fractional is an optimal solution of the LP relaxation.
@@ -384,19 +391,36 @@ func (m *Model) Solve(opts lp.Options) (*Fractional, error) {
 	return m.SolveWith(nil, opts)
 }
 
+// WarmStart seeds this model's next solve with a basis captured from a
+// same-shaped model's optimal solve (Model.Basis).  The solve falls back to
+// a cold start when the basis does not transfer.
+func (m *Model) WarmStart(b *lp.WarmBasis) { m.warm = b }
+
+// Basis returns the optimal basis captured by this model's last successful
+// solve (nil before the first), for warm-starting the next same-shaped
+// model's solve — the pattern the experiment row-loops and the service
+// shards use to amortise phase-1 work across a sweep.
+func (m *Model) Basis() *lp.WarmBasis { return m.warm }
+
 // SolveWith solves the LP relaxation with the given reusable Solver (nil
 // falls back to the package solver pool), so sweeps that solve many models
-// of similar size can reuse one set of tableau buffers.
+// of similar size can reuse one set of tableau buffers.  The solve warm
+// starts from the model's seeded basis when one is set, and captures the
+// optimal basis for the next solve either way.
 func (m *Model) SolveWith(s *lp.Solver, opts lp.Options) (*Fractional, error) {
+	opts.CaptureBasis = true
 	var sol *lp.Solution
 	var err error
 	if s != nil {
-		sol, err = s.Solve(m.Problem, opts)
+		sol, err = s.SolveFrom(m.Problem, opts, m.warm)
 	} else {
-		sol, err = lp.Solve(m.Problem, opts)
+		sol, err = lp.SolveFrom(m.Problem, opts, m.warm)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if sol.Basis != nil {
+		m.warm = sol.Basis
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, fmt.Errorf("lpmodel: LP relaxation ended with status %v", sol.Status)

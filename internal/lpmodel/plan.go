@@ -15,10 +15,21 @@ import (
 // calls reuse tableau buffers; callers holding their own lp.Solver can use
 // Build plus Model.SolveWith plus Extract directly.
 func Plan(in *core.Instance, opts lp.Options) (*PlanResult, error) {
+	return PlanFrom(in, opts, nil)
+}
+
+// PlanFrom is Plan with the LP solve warm-started from a basis captured off
+// a same-shaped model's optimal solve (Model.Basis): when the basis
+// transfers, the solve skips phase one entirely — and when the donor model
+// solved the identical instance, it terminates without a single pivot at the
+// donor's vertex, so the extracted schedule is the one Plan would have
+// produced.  A nil basis is an ordinary Plan.
+func PlanFrom(in *core.Instance, opts lp.Options, warm *lp.WarmBasis) (*PlanResult, error) {
 	m, err := Build(in)
 	if err != nil {
 		return nil, err
 	}
+	m.WarmStart(warm)
 	frac, err := m.Solve(opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,95 @@
+package lpmodel
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pfcache/internal/lp"
+	"pfcache/internal/workload"
+)
+
+// TestPlanFromMatchesColdPlan verifies the warm-start contract the E8 row
+// loop relies on: planning an instance warm-started from the basis of its
+// own lower-bound solve produces the identical PlanResult a cold Plan does
+// (same schedule, stall, bound), with the LP solved in zero pivots.
+func TestPlanFromMatchesColdPlan(t *testing.T) {
+	for _, disks := range []int{1, 2, 3} {
+		seq := workload.Interleaved(16, disks, 5)
+		in := workload.Instance(seq, 4, 3, disks, workload.AssignStripe, 0)
+
+		cold, err := Plan(in, lp.Options{})
+		if err != nil {
+			t.Fatalf("D=%d: cold plan: %v", disks, err)
+		}
+
+		m, err := Build(in)
+		if err != nil {
+			t.Fatalf("D=%d: build: %v", disks, err)
+		}
+		frac, err := m.Solve(lp.Options{})
+		if err != nil {
+			t.Fatalf("D=%d: lower-bound solve: %v", disks, err)
+		}
+		if m.Basis() == nil {
+			t.Fatalf("D=%d: model captured no basis", disks)
+		}
+		warm, err := PlanFrom(in, lp.Options{}, m.Basis())
+		if err != nil {
+			t.Fatalf("D=%d: warm plan: %v", disks, err)
+		}
+
+		if warm.LPIterations != 0 {
+			t.Errorf("D=%d: warm plan spent %d pivots re-solving the identical LP", disks, warm.LPIterations)
+		}
+		if math.Abs(warm.LowerBound-frac.Objective) > 1e-9 {
+			t.Errorf("D=%d: warm bound %g, lower-bound solve %g", disks, warm.LowerBound, frac.Objective)
+		}
+		if warm.Stall != cold.Stall || warm.ExtraCache != cold.ExtraCache ||
+			math.Abs(warm.LowerBound-cold.LowerBound) > 1e-9 || warm.Offset != cold.Offset {
+			t.Errorf("D=%d: warm plan diverged: stall %d/%d extra %d/%d bound %g/%g offset %g/%g",
+				disks, warm.Stall, cold.Stall, warm.ExtraCache, cold.ExtraCache,
+				warm.LowerBound, cold.LowerBound, warm.Offset, cold.Offset)
+		}
+		if !reflect.DeepEqual(warm.Schedule, cold.Schedule) {
+			t.Errorf("D=%d: warm plan extracted a different schedule", disks)
+		}
+	}
+}
+
+// TestModelResolveWarmStarts verifies that re-solving the same model warm
+// starts automatically and reproduces the first solve.
+func TestModelResolveWarmStarts(t *testing.T) {
+	seq := workload.Uniform(11, 6, 900)
+	in := workload.Instance(seq, 3, 2, 3, workload.AssignStripe, 0)
+	m, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := lp.NewSolver()
+	first, err := m.SolveWith(solver, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Iterations == 0 {
+		t.Fatal("first solve reported zero pivots; warm-start coverage needs a real solve")
+	}
+	second, err := m.SolveWith(solver, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Iterations != 0 {
+		t.Errorf("re-solve spent %d pivots despite the captured basis", second.Iterations)
+	}
+	if math.Abs(second.Objective-first.Objective) > 1e-9 {
+		t.Errorf("re-solve objective %g, first %g", second.Objective, first.Objective)
+	}
+	// The warm solve recomputes the basic values through a fresh
+	// factorization, so values match the first solve's to round-off, not
+	// bit-for-bit.
+	for i := range second.X {
+		if math.Abs(second.X[i]-first.X[i]) > 1e-9 {
+			t.Fatalf("re-solve X[%d] = %g, first %g", i, second.X[i], first.X[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"pfcache/internal/experiments"
 	"pfcache/internal/lp"
+	"pfcache/internal/opt"
 )
 
 // Options configures a Server.
@@ -22,6 +23,13 @@ type Options struct {
 	// Solver is the simplex implementation for schedule requests and the
 	// default restored after sweeps (zero value = lp.MethodRevised).
 	Solver lp.Method
+	// Pricing is the revised simplex's entering-column rule for schedule
+	// requests (zero value = lp.PricingSteepestEdge).  Sweeps pin their own
+	// rule — see experiments.SolverPricing.
+	Pricing lp.Pricing
+	// Basis is the revised simplex's basis representation for schedule
+	// requests (zero value = lp.BasisLU).
+	Basis lp.BasisMethod
 	// Workers is the experiment pool size restored after sweeps (0 = one
 	// worker per CPU).
 	Workers int
@@ -71,7 +79,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // new requests may be served afterwards.
 func (s *Server) Close() { s.pool.close() }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters, embedding the
+// process-wide LP-solver and exact-search counters so a live server's solver
+// work is visible without running a sweep.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Shards:       s.pool.size(),
@@ -82,6 +92,8 @@ func (s *Server) Stats() StatsResponse {
 		Evictions:    s.cache.evictions.Load(),
 		Computed:     s.computed.Load(),
 		Sweeps:       s.sweeps.Load(),
+		LP:           lpCountersWire(lp.StatsSnapshot()),
+		Opt:          optCountersWire(opt.StatsSnapshot()),
 	}
 }
 
@@ -174,7 +186,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		var resp *ScheduleResponse
 		var cerr error
 		s.pool.run(fnvSum(canonical), func(solver *lp.Solver) {
-			resp, cerr = ComputeSchedule(in, req.Strategy, req.IncludeSchedule, solver, lp.Options{Method: s.opts.Solver})
+			// Each shard's solver remembers its last optimal basis; WarmStart
+			// lets the next same-shaped lp-optimal instance on this shard
+			// skip phase one (and a repeated instance — a cache miss after
+			// eviction — skip the solve's pivots entirely).
+			resp, cerr = ComputeSchedule(in, req.Strategy, req.IncludeSchedule, solver,
+				lp.Options{Method: s.opts.Solver, Pricing: s.opts.Pricing,
+					Basis: s.opts.Basis, WarmStart: true})
 		})
 		if cerr != nil {
 			return nil, cerr
@@ -228,6 +246,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Restore the server's configuration: RunSweep points the process-wide
 	// experiment knobs at the request's values.
 	experiments.SetSolverMethod(s.opts.Solver)
+	experiments.ResetPricing()
+	experiments.ResetBasis()
 	experiments.SetWorkers(s.opts.Workers)
 	s.sweepMu.Unlock()
 

@@ -33,10 +33,10 @@ func ResolveExperiments(ids []string) ([]experiments.Experiment, error) {
 // and the /v1/sweep endpoint cannot drift apart.
 //
 // The run mutates process-wide state (the experiment pool size, the selected
-// simplex method, the lp/opt counters); the caller is responsible for
-// exclusion against other solver work (the server holds its sweep lock, the
-// CLI is single-purpose).  Partial results are returned alongside the error
-// when individual experiments fail.
+// simplex engines) and attributes lp/opt counter growth to itself; the
+// caller is responsible for exclusion against other solver work (the server
+// holds its sweep lock, the CLI is single-purpose).  Partial results are
+// returned alongside the error when individual experiments fail.
 func RunSweep(req *SweepRequest) (*SweepResponse, error) {
 	exps, err := ResolveExperiments(req.IDs)
 	if err != nil {
@@ -47,32 +47,42 @@ func RunSweep(req *SweepRequest) (*SweepResponse, error) {
 		return nil, err
 	}
 	experiments.SetSolverMethod(method)
+	if req.Pricing != "" {
+		pricing, err := lp.ParsePricing(req.Pricing)
+		if err != nil {
+			return nil, err
+		}
+		experiments.SetPricing(pricing)
+	} else {
+		experiments.ResetPricing()
+	}
+	if req.Basis != "" {
+		basis, err := lp.ParseBasis(req.Basis)
+		if err != nil {
+			return nil, err
+		}
+		experiments.SetBasis(basis)
+	} else {
+		experiments.ResetBasis()
+	}
 	experiments.SetWorkers(req.Workers)
 
-	lp.StatsReset()
-	opt.StatsReset()
+	// The embedded counters are the sweep's own work: a before/after
+	// snapshot difference rather than a reset-then-read, so a live server's
+	// process-wide counters (exposed on /v1/stats) stay monotonic across
+	// sweeps.  The caller's exclusion guarantee is what makes the
+	// difference attributable to this sweep alone.
+	lpBefore := lp.StatsSnapshot()
+	optBefore := opt.StatsSnapshot()
 	results, runErr := experiments.RunAll(exps)
-	lpc := lp.StatsSnapshot()
-	optc := opt.StatsSnapshot()
 
 	resp := &SweepResponse{
 		Solver:  method.String(),
+		Pricing: experiments.SolverPricing().String(),
+		Basis:   experiments.SolverBasis().String(),
 		Results: make([]TableWire, 0, len(results)),
-		LP: LPCountersWire{
-			Solves:           lpc.Solves,
-			Iterations:       lpc.Iterations,
-			PricingPasses:    lpc.PricingPasses,
-			Refactorizations: lpc.Refactorizations,
-			EtaColumns:       lpc.EtaColumns,
-		},
-		Opt: OptCountersWire{
-			Searches:      optc.Searches,
-			Expanded:      optc.Expanded,
-			Generated:     optc.Generated,
-			PrunedByBound: optc.PrunedByBound,
-			DuplicateHits: optc.DuplicateHits,
-			PeakTable:     optc.PeakTable,
-		},
+		LP:      lpCountersWire(lpCountersDiff(lp.StatsSnapshot(), lpBefore)),
+		Opt:     optCountersWire(optCountersDiff(opt.StatsSnapshot(), optBefore)),
 	}
 	for _, r := range results {
 		// One failed experiment must not hide the others' tables; failed
@@ -93,6 +103,35 @@ func RunSweep(req *SweepRequest) (*SweepResponse, error) {
 		resp.Results = append(resp.Results, t)
 	}
 	return resp, runErr
+}
+
+// lpCountersDiff returns the counter growth between two snapshots (the
+// counters are monotonic, so the difference is well defined).
+func lpCountersDiff(after, before lp.Counters) lp.Counters {
+	return lp.Counters{
+		Solves:           after.Solves - before.Solves,
+		Iterations:       after.Iterations - before.Iterations,
+		PricingPasses:    after.PricingPasses - before.PricingPasses,
+		Refactorizations: after.Refactorizations - before.Refactorizations,
+		EtaColumns:       after.EtaColumns - before.EtaColumns,
+		LUFills:          after.LUFills - before.LUFills,
+		WarmStarts:       after.WarmStarts - before.WarmStarts,
+	}
+}
+
+// optCountersDiff returns the counter growth between two snapshots.
+// PeakTable is a running maximum, not a sum, so the difference would be
+// meaningless: the after-value is reported as is (for a fresh process — the
+// CLI, the trajectory files — it equals the sweep's own peak).
+func optCountersDiff(after, before opt.Counters) opt.Counters {
+	return opt.Counters{
+		Searches:      after.Searches - before.Searches,
+		Expanded:      after.Expanded - before.Expanded,
+		Generated:     after.Generated - before.Generated,
+		PrunedByBound: after.PrunedByBound - before.PrunedByBound,
+		DuplicateHits: after.DuplicateHits - before.DuplicateHits,
+		PeakTable:     after.PeakTable,
+	}
 }
 
 // solverName defaults an empty solver field to the production method.

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"pfcache/internal/lp"
+	"pfcache/internal/opt"
 	"pfcache/internal/report"
 )
 
@@ -165,6 +167,33 @@ type LPCountersWire struct {
 	PricingPasses    uint64 `json:"pricing_passes"`
 	Refactorizations uint64 `json:"refactorizations"`
 	EtaColumns       uint64 `json:"eta_columns"`
+	LUFills          uint64 `json:"lu_fills"`
+	WarmStarts       uint64 `json:"warm_starts"`
+}
+
+// lpCountersWire converts an lp.Counters snapshot to its wire form.
+func lpCountersWire(c lp.Counters) LPCountersWire {
+	return LPCountersWire{
+		Solves:           c.Solves,
+		Iterations:       c.Iterations,
+		PricingPasses:    c.PricingPasses,
+		Refactorizations: c.Refactorizations,
+		EtaColumns:       c.EtaColumns,
+		LUFills:          c.LUFills,
+		WarmStarts:       c.WarmStarts,
+	}
+}
+
+// optCountersWire converts an opt.Counters snapshot to its wire form.
+func optCountersWire(c opt.Counters) OptCountersWire {
+	return OptCountersWire{
+		Searches:      c.Searches,
+		Expanded:      c.Expanded,
+		Generated:     c.Generated,
+		PrunedByBound: c.PrunedByBound,
+		DuplicateHits: c.DuplicateHits,
+		PeakTable:     c.PeakTable,
+	}
 }
 
 // OptCountersWire mirrors opt.Counters with the stable JSON names of the
@@ -190,18 +219,35 @@ type SweepRequest struct {
 	// Solver selects the simplex implementation ("revised" or "flat";
 	// default "revised").
 	Solver string `json:"solver,omitempty"`
+	// Pricing overrides the revised simplex's entering-column rule
+	// ("steepest-edge" or "dantzig"); empty keeps the suite's pinned
+	// reproduction rule (dantzig — see experiments.SolverPricing).
+	Pricing string `json:"pricing,omitempty"`
+	// Basis overrides the revised simplex's basis representation ("lu" or
+	// "eta"); empty keeps the suite's pinned reproduction representation
+	// (eta — see experiments.SolverBasis).
+	Basis string `json:"basis,omitempty"`
 }
 
 // SweepResponse is the result of a sweep.  Its encoding (see EncodeSweep) is
 // byte-identical to `pcbench -json` output for the same configuration.
 type SweepResponse struct {
-	Solver  string          `json:"solver"`
-	Results []TableWire     `json:"results"`
-	LP      LPCountersWire  `json:"lp"`
-	Opt     OptCountersWire `json:"opt"`
+	Solver  string      `json:"solver"`
+	Pricing string      `json:"pricing"`
+	Basis   string      `json:"basis"`
+	Results []TableWire `json:"results"`
+	// Timings carries ns/op wall-clock figures for the named Go benchmarks
+	// of this revision (scripts/bench.sh fills it via `pcbench -timings`).
+	// It is informational: cmd/benchdiff never compares it.
+	Timings map[string]float64 `json:"timings,omitempty"`
+	LP      LPCountersWire     `json:"lp"`
+	Opt     OptCountersWire    `json:"opt"`
 }
 
-// StatsResponse reports service-level counters (GET /v1/stats).
+// StatsResponse reports service-level counters (GET /v1/stats), including
+// the process-wide LP-solver and exact-search counters — the same blocks
+// `pcbench -json` embeds, so a live server's solver work is observable
+// without running a sweep.
 type StatsResponse struct {
 	Shards       int    `json:"shards"`
 	CacheEntries int    `json:"cache_entries"`
@@ -211,4 +257,7 @@ type StatsResponse struct {
 	Evictions    uint64 `json:"evictions"`
 	Computed     uint64 `json:"computed"`
 	Sweeps       uint64 `json:"sweeps"`
+
+	LP  LPCountersWire  `json:"lp"`
+	Opt OptCountersWire `json:"opt"`
 }

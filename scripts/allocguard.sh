@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Allocation-regression guard for the two hot paths:
+# Allocation-regression guard for the hot paths:
 #
 #  * The pooled LP solve paths (reused Solver, see BenchmarkLPSolveRevised /
 #    BenchmarkLPSolveFlat) must stay O(1) allocs per solve — that property is
 #    what keeps the E7/E8 sweeps allocation-free in steady state.
+#  * The revised solver's inner engines (internal/lp's
+#    BenchmarkRevisedSolve{,SteepestEdge,DantzigEta}E7Size) must keep their
+#    working state — steepest-edge weight arrays, the sparse pivot-row
+#    accumulator, and the LU factorization workspace — on the reusable
+#    Solver: a cold solve on warmed buffers allocates only the Solution and
+#    its X vector, so the same MAX_ALLOCS bound applies.
 #  * The exact-search engine (BenchmarkOptSearchAStar*) must keep its flat
 #    arena + open-addressing memory layer: its allocs/op on a fixed instance
 #    is a small constant (seed schedules, arena growth doublings), while a
@@ -17,9 +23,11 @@ cd "$(dirname "$0")/.."
 MAX_ALLOCS="${MAX_ALLOCS:-8}"
 MAX_OPT_ALLOCS="${MAX_OPT_ALLOCS:-2000}"
 out=$(go test -run '^$' -bench 'BenchmarkLPSolve(Revised|Flat)$|BenchmarkOptSearchAStar' -benchmem -benchtime 1x .)
+lpout=$(go test -run '^$' -bench 'BenchmarkRevisedSolve(SteepestEdge|DantzigEta)?E7Size$' -benchmem -benchtime 1x ./internal/lp)
+out=$(printf '%s\n%s' "$out" "$lpout")
 echo "$out"
 echo "$out" | awk -v max="$MAX_ALLOCS" -v optmax="$MAX_OPT_ALLOCS" '
-	/^BenchmarkLPSolve/ {
+	/^BenchmarkLPSolve|^BenchmarkRevisedSolve/ {
 		allocs = $(NF-1)
 		if (allocs + 0 > max + 0) {
 			printf "FAIL: %s allocates %s allocs/op (max %s)\n", $1, allocs, max
