@@ -1,0 +1,197 @@
+// Command pcload is a closed-loop load generator for pcserve or pcfront.
+//
+// A fixed set of workers issues schedule requests back-to-back (each worker
+// sends its next request only after the previous one completes — a closed
+// loop, so offered load adapts to service capacity instead of overrunning
+// it).  Requests are drawn from a seeded pool of distinct instances; the
+// duplicate ratio controls how often the generator re-sends an instance it
+// has already sent, exercising the server's response cache and request
+// coalescing the way real duplicate-heavy traffic does.
+//
+// Usage:
+//
+//	pcload -url http://localhost:8080 -c 8 -n 500
+//	pcload -c 16 -n 2000 -dup 0.75 -strategy lp-optimal -disks 2
+//	pcload -seed 7 -json
+//
+// The report gives throughput, error counts by status, and the latency
+// distribution (p50/p90/p99/max) over successful requests.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfcache/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+type result struct {
+	status  int // 0 = transport error
+	latency time.Duration
+}
+
+func run() int {
+	url := flag.String("url", "http://localhost:8080", "pcserve or pcfront base URL")
+	concurrency := flag.Int("c", 8, "number of closed-loop workers")
+	total := flag.Int("n", 500, "total requests to send")
+	dup := flag.Float64("dup", 0.5, "fraction of requests duplicating an earlier instance (0..1)")
+	strategy := flag.String("strategy", "aggressive", "schedule strategy for every request")
+	blocks := flag.Int("blocks", 12, "distinct blocks per generated workload")
+	reqs := flag.Int("reqs", 48, "requests per generated workload")
+	k := flag.Int("k", 6, "cache size k of generated instances")
+	f := flag.Int("f", 4, "fetch time F of generated instances")
+	disks := flag.Int("disks", 1, "disks per generated instance")
+	seed := flag.Int64("seed", 1, "seed for the instance pool and duplicate pattern")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	if *concurrency < 1 || *total < 1 || *dup < 0 || *dup > 1 {
+		fmt.Fprintln(os.Stderr, "pcload: need -c >= 1, -n >= 1 and 0 <= -dup <= 1")
+		return 2
+	}
+
+	// Distinct-instance pool: a duplicate ratio r over n requests needs
+	// about n*(1-r) distinct instances.  Workers then draw uniformly from
+	// the pool, so later draws repeat earlier ones at the requested rate.
+	distinct := int(float64(*total)*(1-*dup) + 0.5)
+	if distinct < 1 {
+		distinct = 1
+	}
+	if distinct > *total {
+		distinct = *total
+	}
+	pool := make([][]byte, distinct)
+	for i := range pool {
+		body, err := json.Marshal(&service.ScheduleRequest{
+			Strategy: *strategy,
+			Workload: &service.WorkloadSpec{
+				Kind: "zipf", N: *reqs, Blocks: *blocks, S: 1.1,
+				Seed: *seed + int64(i),
+			},
+			K: *k, F: *f, Disks: *disks,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcload:", err)
+			return 2
+		}
+		pool[i] = body
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	results := make([]result, *total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(*seed), uint64(w)))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *total {
+					return
+				}
+				body := pool[rng.IntN(len(pool))]
+				t0 := time.Now()
+				resp, err := client.Post(*url+"/v1/schedule", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					results[i] = result{status: 0, latency: lat}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				results[i] = result{status: resp.StatusCode, latency: lat}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(results, elapsed, *concurrency, distinct, *jsonOut)
+	for _, r := range results {
+		if r.status != http.StatusOK {
+			return 1
+		}
+	}
+	return 0
+}
+
+type loadReport struct {
+	Requests    int            `json:"requests"`
+	Distinct    int            `json:"distinct_instances"`
+	Concurrency int            `json:"concurrency"`
+	ElapsedSec  float64        `json:"elapsed_sec"`
+	Throughput  float64        `json:"requests_per_sec"`
+	Errors      int            `json:"errors"`
+	ErrorRate   float64        `json:"error_rate"`
+	ByStatus    map[string]int `json:"by_status"`
+	P50Ms       float64        `json:"p50_ms"`
+	P90Ms       float64        `json:"p90_ms"`
+	P99Ms       float64        `json:"p99_ms"`
+	MaxMs       float64        `json:"max_ms"`
+}
+
+func report(results []result, elapsed time.Duration, concurrency, distinct int, asJSON bool) {
+	rep := loadReport{
+		Requests:    len(results),
+		Distinct:    distinct,
+		Concurrency: concurrency,
+		ElapsedSec:  elapsed.Seconds(),
+		Throughput:  float64(len(results)) / elapsed.Seconds(),
+		ByStatus:    map[string]int{},
+	}
+	var ok []time.Duration
+	for _, r := range results {
+		key := fmt.Sprint(r.status)
+		if r.status == 0 {
+			key = "transport-error"
+		}
+		rep.ByStatus[key]++
+		if r.status == http.StatusOK {
+			ok = append(ok, r.latency)
+		} else {
+			rep.Errors++
+		}
+	}
+	rep.ErrorRate = float64(rep.Errors) / float64(len(results))
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(ok)-1))
+			return float64(ok[i].Microseconds()) / 1000
+		}
+		rep.P50Ms, rep.P90Ms, rep.P99Ms = pct(0.50), pct(0.90), pct(0.99)
+		rep.MaxMs = float64(ok[len(ok)-1].Microseconds()) / 1000
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Printf("pcload: %d requests (%d distinct) from %d workers in %.2fs\n",
+		rep.Requests, rep.Distinct, rep.Concurrency, rep.ElapsedSec)
+	fmt.Printf("  throughput  %.1f req/s\n", rep.Throughput)
+	fmt.Printf("  errors      %d (%.2f%%)\n", rep.Errors, 100*rep.ErrorRate)
+	for status, n := range rep.ByStatus {
+		fmt.Printf("    %-16s %d\n", status, n)
+	}
+	fmt.Printf("  latency     p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)
+}

@@ -1,0 +1,209 @@
+// Package faultinject is a test harness for the serving tier: a chaos proxy
+// that sits between a client (typically the pcfront tier under test) and one
+// HTTP backend, injecting the failure modes real fleets produce — added
+// latency, abrupt connection resets, 5xx replies, mid-body truncation, and
+// whole-backend outages ("kill" / "restart") — on command and
+// deterministically.
+//
+// The proxy is plain net/http plus connection hijacking, so it composes with
+// httptest servers on both sides; the end-to-end chaos tests in
+// internal/front drive it.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy forwards requests to a single upstream, applying injected faults.
+// All methods are safe for concurrent use.
+type Proxy struct {
+	upstream string // base URL, no trailing slash
+	server   *httptest.Server
+	client   *http.Client
+
+	mu      sync.Mutex
+	latency time.Duration
+	down    bool  // simulate a killed backend: reset every connection
+	reset   int64 // budget of connection resets to inject
+	status  int64 // budget of 500 replies to inject
+	trunc   int64 // budget of mid-body truncations to inject
+
+	// Counters of injected faults (for test assertions).
+	Resets      atomic.Int64
+	Statuses    atomic.Int64
+	Truncations atomic.Int64
+	Forwarded   atomic.Int64
+}
+
+// New starts a chaos proxy in front of upstream (a base URL such as an
+// httptest server's URL).  Close must be called to stop it.
+func New(upstream string) *Proxy {
+	p := &Proxy{
+		upstream: upstream,
+		client:   &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+	}
+	p.server = httptest.NewServer(http.HandlerFunc(p.handle))
+	return p
+}
+
+// URL is the proxy's front address; point the system under test here.
+func (p *Proxy) URL() string { return p.server.URL }
+
+// Close stops the proxy listener.
+func (p *Proxy) Close() {
+	p.server.CloseClientConnections()
+	p.server.Close()
+}
+
+// SetLatency adds a fixed delay before every forwarded request (0 clears).
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// SetDown simulates killing (true) or restarting (false) the backend: while
+// down, every connection is reset without reaching the upstream, which is
+// what a client observes of a freshly dead process whose port is still
+// routable.
+func (p *Proxy) SetDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	p.mu.Unlock()
+	if down {
+		p.server.CloseClientConnections()
+	}
+}
+
+// InjectResets makes the next n requests reset their connection mid-request.
+func (p *Proxy) InjectResets(n int) {
+	p.mu.Lock()
+	p.reset += int64(n)
+	p.mu.Unlock()
+}
+
+// InjectStatus500 makes the next n requests answer 500 without reaching the
+// upstream.
+func (p *Proxy) InjectStatus500(n int) {
+	p.mu.Lock()
+	p.status += int64(n)
+	p.mu.Unlock()
+}
+
+// InjectTruncations makes the next n requests forward to the upstream but
+// cut the response body in half mid-stream, closing the connection with the
+// declared Content-Length unfulfilled.
+func (p *Proxy) InjectTruncations(n int) {
+	p.mu.Lock()
+	p.trunc += int64(n)
+	p.mu.Unlock()
+}
+
+// take consumes one unit from a fault budget.
+func take(n *int64) bool {
+	if *n > 0 {
+		*n--
+		return true
+	}
+	return false
+}
+
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	latency := p.latency
+	down := p.down
+	doReset := false
+	doStatus := false
+	doTrunc := false
+	// Health probes pass through un-faulted so the checker sees the backend's
+	// true liveness; only a full outage (down) affects them.  This keeps the
+	// injected fault budgets for real traffic.
+	healthProbe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz"
+	if !down && !healthProbe {
+		doReset = take(&p.reset)
+		if !doReset {
+			doStatus = take(&p.status)
+		}
+		if !doReset && !doStatus {
+			doTrunc = take(&p.trunc)
+		}
+	}
+	p.mu.Unlock()
+
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if down || doReset {
+		p.Resets.Add(1)
+		hijackClose(w)
+		return
+	}
+	if doStatus {
+		p.Statuses.Add(1)
+		http.Error(w, "faultinject: injected 500", http.StatusInternalServerError)
+		return
+	}
+
+	// Forward to the upstream, buffering the reply so truncation can cut a
+	// known-complete body at a known point.
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.upstream+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("faultinject: upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("faultinject: upstream body: %v", err), http.StatusBadGateway)
+		return
+	}
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+
+	if doTrunc && len(body) > 1 {
+		p.Truncations.Add(1)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		hijackClose(w)
+		return
+	}
+
+	p.Forwarded.Add(1)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// hijackClose tears the client connection down abruptly, producing the
+// "connection reset by peer" / unexpected-EOF failures real dead backends
+// cause.
+func hijackClose(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	// Fallback when hijacking is unavailable: an empty 502 is still a
+	// retryable failure for the front.
+	w.WriteHeader(http.StatusBadGateway)
+}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream returns a trivial backend echoing a fixed body.
+func upstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "the quick brown fox jumps over the lazy dog")
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp, body, err
+	}
+	return resp, body, nil
+}
+
+func TestProxyForwardsCleanly(t *testing.T) {
+	p := New(upstream(t).URL)
+	defer p.Close()
+	resp, body, err := get(t, p.URL())
+	if err != nil || resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "quick brown fox") {
+		t.Fatalf("clean forward: status=%v body=%q err=%v", resp, body, err)
+	}
+	if p.Forwarded.Load() != 1 {
+		t.Errorf("forwarded = %d, want 1", p.Forwarded.Load())
+	}
+}
+
+func TestProxyInjects500(t *testing.T) {
+	p := New(upstream(t).URL)
+	defer p.Close()
+	p.InjectStatus500(1)
+	resp, _, err := get(t, p.URL())
+	if err != nil || resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected 500: resp=%v err=%v", resp, err)
+	}
+	// The budget is spent: the next request is clean.
+	resp, _, err = get(t, p.URL())
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("after budget: resp=%v err=%v", resp, err)
+	}
+	if p.Statuses.Load() != 1 {
+		t.Errorf("statuses = %d, want 1", p.Statuses.Load())
+	}
+}
+
+func TestProxyInjectsReset(t *testing.T) {
+	p := New(upstream(t).URL)
+	defer p.Close()
+	p.InjectResets(1)
+	if _, _, err := get(t, p.URL()); err == nil {
+		t.Fatal("injected reset produced a successful response")
+	}
+	if resp, _, err := get(t, p.URL()); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("after budget: resp=%v err=%v", resp, err)
+	}
+}
+
+func TestProxyTruncatesBody(t *testing.T) {
+	p := New(upstream(t).URL)
+	defer p.Close()
+	p.InjectTruncations(1)
+	_, body, err := get(t, p.URL())
+	if err == nil {
+		t.Fatalf("truncated body read succeeded: %q", body)
+	}
+	if len(body) == 0 {
+		t.Error("truncation sent no bytes at all; want a partial body")
+	}
+	if p.Truncations.Load() != 1 {
+		t.Errorf("truncations = %d, want 1", p.Truncations.Load())
+	}
+	if resp, body, err := get(t, p.URL()); err != nil || resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("after budget: resp=%v err=%v", resp, err)
+	}
+}
+
+func TestProxyDownAndRestart(t *testing.T) {
+	p := New(upstream(t).URL)
+	defer p.Close()
+	p.SetDown(true)
+	if _, _, err := get(t, p.URL()); err == nil {
+		t.Fatal("request to a down backend succeeded")
+	}
+	p.SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _, err := get(t, p.URL())
+		if err == nil && resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backend never came back after restart: resp=%v err=%v", resp, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p := New(upstream(t).URL)
+	defer p.Close()
+	p.SetLatency(60 * time.Millisecond)
+	start := time.Now()
+	if _, _, err := get(t, p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Errorf("latency injection: request took %v, want >= 60ms", d)
+	}
+}

@@ -1,0 +1,114 @@
+package front
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker state.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // tripping: requests skip this backend
+	breakerHalfOpen                     // cooling down: one probe allowed
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-backend circuit breaker.  `threshold` consecutive request
+// failures open it; while open, allow() refuses (the front skips the backend
+// without spending an attempt); after `cooldown` one probe request is let
+// through, and its outcome closes or re-opens the circuit.  The breaker
+// reacts to real request traffic, complementing the active health checker
+// (which reacts to probe traffic): a backend that answers /readyz but fails
+// every solve still gets fenced.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int       // consecutive failures while closed
+	openedAt    time.Time // when the circuit last opened
+	probing     bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may be sent to this backend now.  In the
+// half-open state only a single probe is allowed at a time.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a successful request, closing the circuit.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// onFailure records a failed request, opening the circuit after `threshold`
+// consecutive failures (immediately when a half-open probe fails).
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case breakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// snapshot returns the state for /v1/stats.
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

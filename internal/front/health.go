@@ -1,0 +1,125 @@
+package front
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// healthChecker actively polls one backend's readiness endpoint.  It takes
+// `failThreshold` consecutive failed probes to mark the backend unhealthy
+// (one dropped poll is not an outage) and `restoreThreshold` consecutive
+// successes to bring it back (a backend that flaps once per poll never
+// serves).  The checker only observes probe traffic; the per-backend circuit
+// breaker covers failures of real requests between polls.
+type healthChecker struct {
+	url       string
+	client    *http.Client
+	interval  time.Duration
+	timeout   time.Duration
+	failAfter int
+	okAfter   int
+
+	healthy     atomic.Bool
+	transitions atomic.Uint64 // healthy<->unhealthy flips
+
+	consecFail int
+	consecOK   int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newHealthChecker(url string, client *http.Client, interval, timeout time.Duration, failAfter, okAfter int) *healthChecker {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if timeout <= 0 {
+		timeout = interval
+	}
+	if failAfter <= 0 {
+		failAfter = 3
+	}
+	if okAfter <= 0 {
+		okAfter = 2
+	}
+	hc := &healthChecker{
+		url:       url,
+		client:    client,
+		interval:  interval,
+		timeout:   timeout,
+		failAfter: failAfter,
+		okAfter:   okAfter,
+		stop:      make(chan struct{}),
+	}
+	// Start healthy: a fleet booting up should route traffic immediately and
+	// let the first failed probes (or failed requests, via the breaker)
+	// demote a backend, rather than blackhole everything until the first
+	// poll round completes.
+	hc.healthy.Store(true)
+	return hc
+}
+
+// run polls until stopped.  It probes once immediately so tests with short
+// intervals converge fast.
+func (hc *healthChecker) run() {
+	hc.wg.Add(1)
+	go func() {
+		defer hc.wg.Done()
+		ticker := time.NewTicker(hc.interval)
+		defer ticker.Stop()
+		hc.probe()
+		for {
+			select {
+			case <-hc.stop:
+				return
+			case <-ticker.C:
+				hc.probe()
+			}
+		}
+	}()
+}
+
+func (hc *healthChecker) close() {
+	close(hc.stop)
+	hc.wg.Wait()
+}
+
+// probe performs one readiness check and applies the thresholds.
+func (hc *healthChecker) probe() {
+	ok := hc.check()
+	if ok {
+		hc.consecOK++
+		hc.consecFail = 0
+		if !hc.healthy.Load() && hc.consecOK >= hc.okAfter {
+			hc.healthy.Store(true)
+			hc.transitions.Add(1)
+		}
+		return
+	}
+	hc.consecFail++
+	hc.consecOK = 0
+	if hc.healthy.Load() && hc.consecFail >= hc.failAfter {
+		hc.healthy.Store(false)
+		hc.transitions.Add(1)
+	}
+}
+
+func (hc *healthChecker) check() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), hc.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", hc.url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := hc.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

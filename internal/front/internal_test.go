@@ -1,0 +1,116 @@
+package front
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRingDeterministicAndComplete: same names → same order; every backend
+// appears exactly once in every walk; the owner changes with the key.
+func TestRingDeterministicAndComplete(t *testing.T) {
+	names := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := newRing(names, 64)
+	r2 := newRing(names, 64)
+
+	owners := make(map[int]int)
+	for key := uint64(0); key < 4096; key++ {
+		o1 := r1.order(key * 0x9e3779b97f4a7c15)
+		o2 := r2.order(key * 0x9e3779b97f4a7c15)
+		if len(o1) != 3 {
+			t.Fatalf("order returned %d backends, want 3", len(o1))
+		}
+		seen := map[int]bool{}
+		for i, b := range o1 {
+			if o2[i] != b {
+				t.Fatalf("two identical rings disagree for key %d", key)
+			}
+			if seen[b] {
+				t.Fatalf("backend %d repeated in walk %v", b, o1)
+			}
+			seen[b] = true
+		}
+		owners[o1[0]]++
+	}
+	// 64 vnodes over 3 backends: no backend should own a trivial share.
+	for b := 0; b < 3; b++ {
+		if owners[b] < 4096/10 {
+			t.Errorf("backend %d owns only %d/4096 keys; ring is badly unbalanced", b, owners[b])
+		}
+	}
+}
+
+// TestRingAffinityStableUnderGrowth: keys mostly keep their owner when a
+// backend joins — the property that makes backend caches survive fleet
+// resizes.
+func TestRingAffinityStableUnderGrowth(t *testing.T) {
+	small := newRing([]string{"http://a:1", "http://b:2"}, 64)
+	grown := newRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 64)
+	moved := 0
+	const keys = 4096
+	for key := uint64(0); key < keys; key++ {
+		k := key * 0x9e3779b97f4a7c15
+		before := small.order(k)[0]
+		after := grown.order(k)[0]
+		if after != before && after != 2 {
+			moved++ // moved between the two survivors: consistent hashing forbids this in the ideal
+		}
+	}
+	if moved > keys/10 {
+		t.Errorf("%d/%d keys moved between surviving backends when a third joined", moved, keys)
+	}
+}
+
+// TestBreakerLifecycle drives the closed → open → half-open → closed cycle
+// with an injected clock.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(2, time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() {
+		t.Fatal("fresh breaker refuses")
+	}
+	b.onFailure()
+	if !b.allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.onFailure() // second consecutive failure: opens
+	if b.allow() {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if got := b.snapshot(); got != "open" {
+		t.Fatalf("state %q, want open", got)
+	}
+
+	now = now.Add(1500 * time.Millisecond) // past cooldown
+	if !b.allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent half-open probe allowed")
+	}
+	b.onFailure() // probe failed: open again
+	if b.allow() {
+		t.Fatal("breaker closed after a failed probe")
+	}
+
+	now = now.Add(1500 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second half-open probe refused")
+	}
+	b.onSuccess()
+	if got := b.snapshot(); got != "closed" {
+		t.Fatalf("state %q after successful probe, want closed", got)
+	}
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker refuses traffic")
+	}
+
+	// A success resets the consecutive-failure count.
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	if !b.allow() {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}

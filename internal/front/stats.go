@@ -1,0 +1,107 @@
+package front
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// BackendStatus is one backend's entry in the aggregated /v1/stats reply.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Breaker is "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+	// Requests and Failures count attempts this front sent to the backend.
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	// Transitions counts healthy<->unhealthy flips observed by the checker.
+	Transitions uint64 `json:"transitions"`
+	// Stats is the backend's own /v1/stats body (absent when the backend
+	// could not be reached within the stats deadline).
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// StatsResponse aggregates the front tier's view of the fleet.
+type StatsResponse struct {
+	Backends        []BackendStatus `json:"backends"`
+	HealthyBackends int             `json:"healthy_backends"`
+	// Requests counts schedule requests accepted; Retries counts extra
+	// attempts spent beyond each request's first; Sweeps counts fanned-out
+	// sweep requests.
+	Requests uint64 `json:"requests"`
+	Retries  uint64 `json:"retries"`
+	Sweeps   uint64 `json:"sweeps"`
+}
+
+// Stats snapshots the front counters and, best-effort, each healthy
+// backend's own stats (bounded by a short per-backend deadline so one dead
+// backend cannot stall the aggregate).
+func (f *Front) Stats(ctx context.Context) StatsResponse {
+	resp := StatsResponse{
+		Backends: make([]BackendStatus, len(f.backends)),
+		Requests: f.requests.Load(),
+		Retries:  f.retries.Load(),
+		Sweeps:   f.sweeps.Load(),
+	}
+	var wg sync.WaitGroup
+	for i, b := range f.backends {
+		st := BackendStatus{
+			URL:         b.name,
+			Healthy:     b.hc.healthy.Load(),
+			Breaker:     b.br.snapshot(),
+			Requests:    b.requests.Load(),
+			Failures:    b.failures.Load(),
+			Transitions: b.hc.transitions.Load(),
+		}
+		if st.Healthy {
+			resp.HealthyBackends++
+		}
+		resp.Backends[i] = st
+		if !st.Healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			if raw := f.fetchBackendStats(ctx, base); raw != nil {
+				resp.Backends[i].Stats = raw
+			}
+		}(i, b.name)
+	}
+	wg.Wait()
+	return resp
+}
+
+// fetchBackendStats pulls one backend's /v1/stats with a short deadline,
+// returning nil on any failure (stats aggregation is best-effort).
+func (f *Front) fetchBackendStats(ctx context.Context, base string) json.RawMessage {
+	sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, "GET", base+"/v1/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, body); err != nil {
+		return nil
+	}
+	return compact.Bytes()
+}

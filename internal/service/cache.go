@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -108,6 +109,13 @@ func (c *lruCache) len() int {
 // and shares its result.  Results are not retained beyond the in-flight
 // window; pairing the group with the LRU cache gives "compute at most once
 // at a time, remember the recent past".
+//
+// Cancellation is reference-counted per flight: the computation runs under a
+// flight-owned context that is canceled only when every interested caller
+// (the leader and all coalesced followers) has canceled.  A follower whose
+// leader's client disconnects therefore still receives the result — the
+// computation outlives any individual request — while a flight nobody wants
+// anymore is canceled promptly, releasing its shard.
 type flightGroup struct {
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -119,6 +127,26 @@ type flight struct {
 	done chan struct{}
 	body []byte
 	err  error
+
+	// ctx is the computation's context; cancel fires when waiters hits zero
+	// (every caller gave up) and again, harmlessly, when the flight retires.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	waiters int
+}
+
+// leave records that one waiter's request context ended.  The last waiter
+// out cancels the computation.
+func (fl *flight) leave() {
+	fl.mu.Lock()
+	fl.waiters--
+	last := fl.waiters == 0
+	fl.mu.Unlock()
+	if last {
+		fl.cancel()
+	}
 }
 
 func newFlightGroup() *flightGroup {
@@ -126,25 +154,44 @@ func newFlightGroup() *flightGroup {
 }
 
 // do runs fn for key unless an identical computation is already in flight,
-// in which case it waits for and shares that computation's result.  The
-// second return value reports whether this call was coalesced onto another.
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) ([]byte, error, bool) {
+// in which case it waits for and shares that computation's result.  fn
+// receives the flight context described on flightGroup.  A follower whose
+// own ctx ends before the flight completes returns ctx's error immediately
+// (the flight keeps running for the remaining waiters).  The third return
+// value reports whether this call was coalesced onto another.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, error, bool) {
 	g.mu.Lock()
 	if fl, ok := g.flights[key]; ok {
+		fl.mu.Lock()
+		fl.waiters++
+		fl.mu.Unlock()
 		g.mu.Unlock()
 		g.coalesced.Add(1)
-		<-fl.done
-		return fl.body, fl.err, true
+		stop := context.AfterFunc(ctx, fl.leave)
+		select {
+		case <-fl.done:
+			// stop returns false when leave already ran (our ctx raced the
+			// result); the flight is retired either way, so the stray
+			// decrement is harmless.
+			stop()
+			return fl.body, fl.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{done: make(chan struct{}), waiters: 1}
+	fl.ctx, fl.cancel = context.WithCancel(context.Background())
 	g.flights[key] = fl
 	g.mu.Unlock()
 
-	fl.body, fl.err = fn()
+	stop := context.AfterFunc(ctx, fl.leave)
+	fl.body, fl.err = fn(fl.ctx)
+	stop()
 
 	g.mu.Lock()
 	delete(g.flights, key)
 	g.mu.Unlock()
 	close(fl.done)
+	fl.cancel()
 	return fl.body, fl.err, false
 }

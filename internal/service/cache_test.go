@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -65,7 +66,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		body, err, coalesced := g.do("k", func() ([]byte, error) {
+		body, err, coalesced := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
 			computes.Add(1)
 			close(started)
 			<-release
@@ -84,7 +85,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, err, coalesced := g.do("k", func() ([]byte, error) {
+			body, err, coalesced := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
 				computes.Add(1)
 				return []byte("duplicate computation"), nil
 			})
@@ -121,7 +122,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 
 	// The flight is gone: a later request computes afresh.
-	body, err, coalesced := g.do("k", func() ([]byte, error) { return []byte("later"), nil })
+	body, err, coalesced := g.do(context.Background(), "k", func(context.Context) ([]byte, error) { return []byte("later"), nil })
 	if err != nil || coalesced || string(body) != "later" {
 		t.Errorf("post-flight request: body=%q err=%v coalesced=%v", body, err, coalesced)
 	}
@@ -130,7 +131,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 // TestShardPoolAffinity checks that equal hashes run on the same shard (the
 // same solver pointer) and that the pool drains cleanly.
 func TestShardPoolAffinity(t *testing.T) {
-	p := newShardPool(3)
+	p := newShardPool(3, 64)
 	seen := make(map[uint64]*lp.Solver)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -139,13 +140,14 @@ func TestShardPoolAffinity(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			h := uint64(i % 3)
-			p.run(h, func(s *lp.Solver) {
+			p.run(context.Background(), h, func(_ context.Context, s *lp.Solver) error {
 				mu.Lock()
 				defer mu.Unlock()
 				if prev, ok := seen[h]; ok && prev != s {
 					t.Errorf("hash %d ran on two different solvers", h)
 				}
 				seen[h] = s
+				return nil
 			})
 		}(i)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"pfcache/internal/core"
@@ -17,7 +18,16 @@ import (
 // and the tests: responses are byte-identical no matter which of them asks.
 // solver may be nil (a pooled solver is drawn for LP work); shards pass their
 // owned solver so repeated LP requests on one shard reuse tableau buffers.
-func ComputeSchedule(in *core.Instance, strategy string, includeSchedule bool, solver *lp.Solver, opts lp.Options) (*ScheduleResponse, error) {
+//
+// ctx bounds the computation: it is checked before each expensive stage
+// (exact search, LP build/solve/extract, simulation), so a canceled request
+// stops consuming its shard at the next stage boundary.  The solver cores
+// themselves are not interruptible mid-pivot; the stage checks bound the
+// overshoot to one engine call.
+func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, includeSchedule bool, solver *lp.Solver, opts lp.Options) (*ScheduleResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	resp := &ScheduleResponse{
 		Key:        fmt.Sprintf("%016x", in.Fingerprint()),
 		Strategy:   strategy,
@@ -52,6 +62,9 @@ func ComputeSchedule(in *core.Instance, strategy string, includeSchedule bool, s
 		if err != nil {
 			return nil, err
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		frac, err := m.SolveWith(solver, opts)
 		if err != nil {
 			return nil, err
@@ -78,6 +91,9 @@ func ComputeSchedule(in *core.Instance, strategy string, includeSchedule bool, s
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := sim.Run(in, sched, sim.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("service: %s schedule is infeasible: %w", strategy, err)

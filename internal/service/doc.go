@@ -27,4 +27,22 @@
 // Sweeps take an exclusive lock while schedule requests hold a shared one:
 // the process-wide lp/opt counters embedded in sweep output stay exactly
 // reproducible because no other solver work runs during a sweep.
+//
+// The service is hardened for fleet use behind a front tier (internal/front,
+// command pcfront):
+//
+//   - Request contexts thread from the HTTP handler through the coalescing
+//     table and shard queues into the solver loop, so a disconnected client
+//     or an expired deadline cancels the work it queued; a coalesced
+//     follower's cancellation only detaches that follower, and the shared
+//     computation itself stops when its last waiter is gone.
+//   - Shard queues are bounded; beyond the configured depth requests shed
+//     with 503 and a Retry-After hint instead of queueing unboundedly, and a
+//     server-side ScheduleTimeout maps to 504.
+//   - Solver panics are recovered per-request into 500s (and counted), so
+//     one poisoned instance cannot take the process down.
+//   - Request bodies are bounded (413 beyond 16 MiB), and /healthz
+//     (liveness: always 200 while the process runs) is split from /readyz
+//     (readiness: 503 after BeginDrain), which lets a supervisor drain a
+//     replica before stopping it.
 package service

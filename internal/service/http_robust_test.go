@@ -1,0 +1,216 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pfcache/internal/service"
+)
+
+// TestScheduleCanceledClientNoGoroutineLeak cancels clients mid-request and
+// asserts that the server sheds the abandoned work: the next request is
+// served promptly and the process returns to its baseline goroutine count
+// (nothing is left blocked on a dead request).
+func TestScheduleCanceledClientNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv := service.NewServer(service.Options{Shards: 1, CacheEntries: 8})
+	ts := httptest.NewServer(srv)
+
+	// An exact-search request big enough that a millisecond-scale client
+	// deadline expires while the computation is queued or running.
+	slow, _ := json.Marshal(service.ScheduleRequest{
+		Strategy: "opt",
+		Workload: &service.WorkloadSpec{Kind: "zipf", N: 26, Blocks: 11, S: 1.1, Seed: 9},
+		K:        5, F: 5,
+	})
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/schedule", bytes.NewReader(slow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			// The computation occasionally beats a tiny deadline; that is
+			// fine — the test cares about the abandoned case.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+	}
+
+	// The shard must come free again: a fresh fast request completes within
+	// an ordinary deadline even though canceled work was just abandoned.
+	fast, _ := json.Marshal(service.ScheduleRequest{
+		Strategy: "aggressive", Seq: []int{0, 1, 2, 0, 1}, K: 2, F: 2,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/schedule", bytes.NewReader(fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("request after canceled traffic failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after canceled traffic: status %d", resp.StatusCode)
+	}
+
+	ts.CloseClientConnections()
+	ts.Close()
+	srv.Close()
+
+	// Goroutines unwind asynchronously; poll up to a deadline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestScheduleRequestBodyTooLarge asserts oversized bodies get a clean 413
+// on both POST endpoints instead of a parse attempt or a connection drop.
+func TestScheduleRequestBodyTooLarge(t *testing.T) {
+	srv := service.NewServer(service.Options{Shards: 1, CacheEntries: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A syntactically valid prefix whose string payload blows the 16 MiB
+	// bound: the decoder must hit the size limit, not a syntax error.
+	huge := `{"strategy":"` + strings.Repeat("a", 17<<20) + `"}`
+	for _, path := range []string{"/v1/schedule", "/v1/sweep"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with oversized body: status %d (%s), want 413",
+				path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestReadinessAndDrain covers the liveness/readiness split: /readyz flips
+// to 503 when the server drains while /healthz stays 200, and the server
+// keeps answering requests throughout the drain window.
+func TestReadinessAndDrain(t *testing.T) {
+	srv := service.NewServer(service.Options{Shards: 1, CacheEntries: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d, want 200", got)
+	}
+	srv.BeginDrain()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain: %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz during drain: %d, want 200 (liveness is not readiness)", got)
+	}
+	if !srv.Stats().Draining {
+		t.Error("stats do not report draining")
+	}
+
+	// In-flight and late-arriving requests are served normally during drain.
+	body, _ := json.Marshal(service.ScheduleRequest{
+		Strategy: "aggressive", Seq: []int{0, 1, 2, 0, 1}, K: 2, F: 2,
+	})
+	resp, err := ts.Client().Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("schedule during drain: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerTimeoutStatus asserts a server-side schedule deadline surfaces
+// as 504 with the timeout counted in stats.
+func TestServerTimeoutStatus(t *testing.T) {
+	srv := service.NewServer(service.Options{
+		Shards: 1, CacheEntries: 4, ScheduleTimeout: time.Nanosecond,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := json.Marshal(service.ScheduleRequest{
+		Strategy: "aggressive", Seq: []int{0, 1, 2, 0, 1}, K: 2, F: 2,
+	})
+	resp, err := ts.Client().Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, b)
+	}
+	if srv.Stats().Timeouts == 0 {
+		t.Error("timeout not counted in stats")
+	}
+}
+
+// TestStatsCarryRobustnessCounters sanity-checks the new wire fields exist
+// and decode.
+func TestStatsCarryRobustnessCounters(t *testing.T) {
+	srv := service.NewServer(service.Options{Shards: 1, CacheEntries: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"shed", "panics", "canceled", "timeouts", "draining"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("stats missing %q: %v", k, m)
+		}
+	}
+	_ = fmt.Sprint(m)
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pfcache/internal/experiments"
 	"pfcache/internal/lp"
@@ -18,8 +20,16 @@ import (
 type Options struct {
 	// Shards is the number of worker shards (0 = one per CPU).
 	Shards int
+	// QueueDepth bounds each shard's backlog; a full queue sheds further
+	// requests with 503 + Retry-After instead of queueing unboundedly
+	// (0 = a small default).
+	QueueDepth int
 	// CacheEntries bounds the schedule-response LRU cache (0 disables it).
 	CacheEntries int
+	// ScheduleTimeout bounds one schedule computation server-side; a request
+	// exceeding it fails with 504 (0 = no server-imposed deadline — client
+	// disconnects still cancel).
+	ScheduleTimeout time.Duration
 	// Solver is the simplex implementation for schedule requests and the
 	// default restored after sweeps (zero value = lp.MethodRevised).
 	Solver lp.Method
@@ -49,15 +59,21 @@ type Server struct {
 	// requests hold it shared, sweeps exclusively.
 	sweepMu sync.RWMutex
 
+	ready    atomic.Bool // shards started; flips /readyz to 200
+	draining atomic.Bool // drain begun; flips /readyz back to 503
+
 	computed atomic.Uint64 // schedule computations actually performed
 	sweeps   atomic.Uint64
+	canceled atomic.Uint64 // requests abandoned by their client
+	timeouts atomic.Uint64 // requests that hit the server-side deadline
+	panics   atomic.Uint64 // handler panics converted to 500s
 }
 
 // NewServer builds a server and starts its shard goroutines.
 func NewServer(opts Options) *Server {
 	s := &Server{
 		opts:   opts,
-		pool:   newShardPool(opts.Shards),
+		pool:   newShardPool(opts.Shards, opts.QueueDepth),
 		cache:  newLRUCache(opts.CacheEntries),
 		flight: newFlightGroup(),
 		mux:    http.NewServeMux(),
@@ -67,13 +83,34 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.ready.Store(true)
 	return s
 }
 
-// ServeHTTP dispatches to the service endpoints.
+// ServeHTTP dispatches to the service endpoints.  A panic escaping a handler
+// is converted into a 500 (and counted) instead of killing the connection's
+// goroutine with a stack trace as the only evidence.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			httpError(w, http.StatusInternalServerError,
+				fmt.Errorf("service: internal panic: %v", rec))
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
+
+// BeginDrain flips the server to draining: /readyz answers 503 so load
+// balancers and front tiers stop routing here, while in-flight and
+// still-arriving requests are served normally.  The caller is expected to
+// stop the listener (http.Server.Shutdown) after the traffic moves away,
+// then Close the server.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close stops the shard goroutines.  In-flight requests complete first; no
 // new requests may be served afterwards.
@@ -92,6 +129,11 @@ func (s *Server) Stats() StatsResponse {
 		Evictions:    s.cache.evictions.Load(),
 		Computed:     s.computed.Load(),
 		Sweeps:       s.sweeps.Load(),
+		Shed:         s.pool.shed.Load(),
+		Panics:       s.pool.panics.Load() + s.panics.Load(),
+		Canceled:     s.canceled.Load(),
+		Timeouts:     s.timeouts.Load(),
+		Draining:     s.draining.Load(),
 		LP:           lpCountersWire(lp.StatsSnapshot()),
 		Opt:          optCountersWire(opt.StatsSnapshot()),
 	}
@@ -102,6 +144,23 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeBody decodes a bounded JSON request body, distinguishing "too large"
+// (413, the body exceeded maxRequestBody) from "malformed" (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(dst)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("service: request body exceeds %d bytes", tooLarge.Limit))
+		return false
+	}
+	httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+	return false
 }
 
 // scheduleKey is the cache/coalescing key of a schedule request: the
@@ -127,7 +186,7 @@ func ScheduleBody(req *ScheduleRequest, opts lp.Options) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := ComputeSchedule(in, req.Strategy, req.IncludeSchedule, nil, opts)
+	resp, err := ComputeSchedule(context.Background(), in, req.Strategy, req.IncludeSchedule, nil, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -150,8 +209,7 @@ const maxRequestBody = 16 << 20
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req ScheduleRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.Strategy == "" {
@@ -161,6 +219,20 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	in, err := req.BuildInstance()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	if s.opts.ScheduleTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.ScheduleTimeout)
+		defer cancel()
+	}
+
+	// A request whose deadline has already passed (or whose client is gone)
+	// fails up front rather than racing a fast computation to the line.
+	if err := ctx.Err(); err != nil {
+		s.writeScheduleError(w, ctx, err)
 		return
 	}
 
@@ -175,7 +247,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeCached(w, body, "hit")
 		return
 	}
-	body, err, coalesced := s.flight.do(key, func() ([]byte, error) {
+	body, err, coalesced := s.flight.do(ctx, key, func(fctx context.Context) ([]byte, error) {
 		// A duplicate may have finished between the cache lookup above and
 		// winning this flight slot (its flight is deleted only after its
 		// cache.put); re-checking here keeps the "duplicates never
@@ -184,18 +256,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return b, nil
 		}
 		var resp *ScheduleResponse
-		var cerr error
-		s.pool.run(fnvSum(canonical), func(solver *lp.Solver) {
+		err := s.pool.run(fctx, fnvSum(canonical), func(tctx context.Context, solver *lp.Solver) error {
 			// Each shard's solver remembers its last optimal basis; WarmStart
 			// lets the next same-shaped lp-optimal instance on this shard
 			// skip phase one (and a repeated instance — a cache miss after
 			// eviction — skip the solve's pivots entirely).
-			resp, cerr = ComputeSchedule(in, req.Strategy, req.IncludeSchedule, solver,
+			var cerr error
+			resp, cerr = ComputeSchedule(tctx, in, req.Strategy, req.IncludeSchedule, solver,
 				lp.Options{Method: s.opts.Solver, Pricing: s.opts.Pricing,
 					Basis: s.opts.Basis, WarmStart: true})
+			return cerr
 		})
-		if cerr != nil {
-			return nil, cerr
+		if err != nil {
+			return nil, err
 		}
 		s.computed.Add(1)
 		b, merr := marshalBody(resp)
@@ -206,7 +279,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return b, nil
 	})
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.writeScheduleError(w, ctx, err)
 		return
 	}
 	status := "miss"
@@ -215,6 +288,35 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	writeCached(w, body, status)
 }
+
+// writeScheduleError maps a schedule computation failure to its HTTP shape:
+// overload is 503 with a Retry-After hint, a server-side deadline is 504, a
+// client disconnect is logged as a counter (the peer is gone; the status is
+// moot), a recovered panic is 500, and anything else is a 422 from the
+// computation itself.
+func (s *Server) writeScheduleError(w http.ResponseWriter, ctx context.Context, err error) {
+	var pe *PanicError
+	switch {
+	case errors.Is(err, ErrShardBusy):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		httpError(w, http.StatusGatewayTimeout, errors.New("service: schedule deadline exceeded"))
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		httpError(w, statusClientClosedRequest, errors.New("service: request canceled"))
+	case errors.As(err, &pe):
+		httpError(w, http.StatusInternalServerError, err)
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for "the client
+// went away before the response": never seen by that client, but visible in
+// logs and to proxies that time out more patiently than their callers.
+const statusClientClosedRequest = 499
 
 // writeCached writes a stored response body; the cache status travels in a
 // header so hit, miss and coalesced bodies stay byte-identical.
@@ -226,8 +328,7 @@ func writeCached(w http.ResponseWriter, body []byte, status string) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	// Validate before taking the exclusive lock so malformed sweeps never
@@ -278,7 +379,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.Stats())
 }
 
+// handleHealth is liveness: the process is up and serving HTTP.  It stays
+// 200 through drain — a draining process is alive — so orchestrators do not
+// kill a server that is deliberately finishing its work.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is readiness: 200 only when the shards are warm and the
+// server is not draining.  Front tiers and load balancers route on this.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() || s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 

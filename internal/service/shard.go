@@ -1,19 +1,51 @@
 package service
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pfcache/internal/lp"
 )
 
-// shard is one worker of the service: a goroutine draining a task queue,
-// owning a reusable lp.Solver and the scratch state of its computations.
-// Requests for the same instance always hash to the same shard, so a hot
-// instance contends on one solver's buffers instead of re-allocating
-// tableaus across the process.
+// ErrShardBusy is returned by shardPool.run when the selected shard's queue
+// is full: the pool sheds the request instead of queueing unboundedly, and
+// the HTTP layer translates it into 503 + Retry-After.
+var ErrShardBusy = errors.New("service: shard queue full")
+
+// PanicError wraps a panic recovered from a shard task.  The worker survives
+// (the panic is confined to the one request); the value travels to the
+// caller as an ordinary error.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("service: panic during compute: %v", e.Value)
+}
+
+// shardTask is one queued unit of work.  ctx is the computation's context
+// (the flight context for coalesced schedule requests): a task whose context
+// is already dead when a worker picks it up is skipped without touching the
+// solver, so canceled requests release their shard in queue-drain time, not
+// solve time.
+type shardTask struct {
+	ctx  context.Context
+	fn   func(ctx context.Context, solver *lp.Solver) error
+	err  error
+	done chan struct{}
+}
+
+// shard is one worker of the service: a goroutine draining a bounded task
+// queue, owning a reusable lp.Solver and the scratch state of its
+// computations.  Requests for the same instance always hash to the same
+// shard, so a hot instance contends on one solver's buffers instead of
+// re-allocating tableaus across the process.
 type shard struct {
-	tasks  chan func(*lp.Solver)
+	tasks  chan *shardTask
 	solver *lp.Solver
 }
 
@@ -22,17 +54,27 @@ type shard struct {
 type shardPool struct {
 	shards []*shard
 	wg     sync.WaitGroup
+
+	shed    atomic.Uint64 // tasks rejected because a queue was full
+	panics  atomic.Uint64 // panics recovered from tasks
+	skipped atomic.Uint64 // tasks dropped because their context died in queue
 }
 
-// newShardPool starts n shard goroutines (n <= 0 means one per CPU).
-func newShardPool(n int) *shardPool {
+// newShardPool starts n shard goroutines (n <= 0 means one per CPU), each
+// with a queue of depth queueDepth (<= 0 means a small default).  The queue
+// bound is the load-shedding point: when a shard is queueDepth requests
+// behind, further work for it is rejected with ErrShardBusy.
+func newShardPool(n, queueDepth int) *shardPool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = defaultQueueDepth
 	}
 	p := &shardPool{shards: make([]*shard, n)}
 	for i := range p.shards {
 		s := &shard{
-			tasks:  make(chan func(*lp.Solver)),
+			tasks:  make(chan *shardTask, queueDepth),
 			solver: lp.NewSolver(),
 		}
 		p.shards[i] = s
@@ -40,26 +82,63 @@ func newShardPool(n int) *shardPool {
 		go func() {
 			defer p.wg.Done()
 			for task := range s.tasks {
-				task(s.solver)
+				p.runTask(s, task)
 			}
 		}()
 	}
 	return p
 }
 
+// defaultQueueDepth bounds each shard's backlog.  A full queue means the
+// shard is this many solves behind; shedding there keeps worst-case queueing
+// latency proportional to the bound instead of to the burst size.
+const defaultQueueDepth = 64
+
+// runTask executes one task on the worker goroutine, converting a panic in
+// the computation into an error for the caller so a poisoned instance kills
+// one request, not the shard.
+func (p *shardPool) runTask(s *shard, t *shardTask) {
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			t.err = &PanicError{Value: r}
+		}
+	}()
+	if err := t.ctx.Err(); err != nil {
+		p.skipped.Add(1)
+		t.err = err
+		return
+	}
+	t.err = t.fn(t.ctx, s.solver)
+}
+
 // size returns the number of shards.
 func (p *shardPool) size() int { return len(p.shards) }
 
-// run executes fn on the shard selected by hash and blocks until it
-// completes.  fn receives the shard's solver.
-func (p *shardPool) run(hash uint64, fn func(*lp.Solver)) {
+// run executes fn on the shard selected by hash and waits for it to
+// complete or for ctx to end.  fn receives the shard's solver on the
+// shard's goroutine.  When the shard's queue is full the task is rejected
+// immediately with ErrShardBusy (load shedding); when ctx ends first, run
+// returns ctx's error while the queued task drains as a cheap no-op (the
+// worker re-checks ctx before touching the solver).
+func (p *shardPool) run(ctx context.Context, hash uint64, fn func(context.Context, *lp.Solver) error) error {
 	s := p.shards[hash%uint64(len(p.shards))]
-	done := make(chan struct{})
-	s.tasks <- func(solver *lp.Solver) {
-		defer close(done)
-		fn(solver)
+	t := &shardTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case s.tasks <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		p.shed.Add(1)
+		return ErrShardBusy
 	}
-	<-done
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // close stops every shard goroutine and waits for in-flight tasks to

@@ -258,6 +258,15 @@ type StatsResponse struct {
 	Computed     uint64 `json:"computed"`
 	Sweeps       uint64 `json:"sweeps"`
 
+	// Robustness counters: requests shed on a full shard queue (503s),
+	// panics recovered into errors, requests abandoned by their client, and
+	// requests that hit the server-side schedule deadline.
+	Shed     uint64 `json:"shed"`
+	Panics   uint64 `json:"panics"`
+	Canceled uint64 `json:"canceled"`
+	Timeouts uint64 `json:"timeouts"`
+	Draining bool   `json:"draining"`
+
 	LP  LPCountersWire  `json:"lp"`
 	Opt OptCountersWire `json:"opt"`
 }
