@@ -66,6 +66,7 @@ func run() int {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures before a backend's circuit opens")
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit interval before a half-open probe")
 	sweepTimeout := flag.Duration("sweep-timeout", 10*time.Minute, "overall deadline per fanned-out sweep")
+	statsTimeout := flag.Duration("stats-timeout", 2*time.Second, "deadline per backend /v1/stats fetch during aggregation")
 	flag.Parse()
 
 	var urls []string
@@ -92,6 +93,7 @@ func run() int {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		SweepTimeout:     *sweepTimeout,
+		StatsTimeout:     *statsTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -13,9 +13,13 @@
 //	pcload -url http://localhost:8080 -c 8 -n 500
 //	pcload -c 16 -n 2000 -dup 0.75 -strategy lp-optimal -disks 2
 //	pcload -seed 7 -json
+//	pcload -n 1000 -max-error-rate 0.01 -json
 //
-// The report gives throughput, error counts by status, and the latency
-// distribution (p50/p90/p99/max) over successful requests.
+// The report gives throughput, error counts by status, a per-status latency
+// breakdown, and the latency distribution (p50/p90/p99/max) over successful
+// requests.  The exit code is 0 while the error rate stays within
+// -max-error-rate (default 0: any error fails), so the command doubles as a
+// CI or canary gate.
 package main
 
 import (
@@ -56,10 +60,16 @@ func run() int {
 	seed := flag.Int64("seed", 1, "seed for the instance pool and duplicate pattern")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	maxErrRate := flag.Float64("max-error-rate", 0,
+		"error-rate fraction (0..1) tolerated before exiting non-zero (0 = any error fails)")
 	flag.Parse()
 
 	if *concurrency < 1 || *total < 1 || *dup < 0 || *dup > 1 {
 		fmt.Fprintln(os.Stderr, "pcload: need -c >= 1, -n >= 1 and 0 <= -dup <= 1")
+		return 2
+	}
+	if *maxErrRate < 0 || *maxErrRate > 1 {
+		fmt.Fprintln(os.Stderr, "pcload: need 0 <= -max-error-rate <= 1")
 		return 2
 	}
 
@@ -122,13 +132,22 @@ func run() int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(results, elapsed, *concurrency, distinct, *jsonOut)
-	for _, r := range results {
-		if r.status != http.StatusOK {
-			return 1
-		}
+	rep := buildReport(results, elapsed, *concurrency, distinct)
+	printReport(rep, *jsonOut)
+	// The exit code gates CI and canary scripts: strict by default, but a
+	// chaos run that tolerates a known fault budget can raise the bar.
+	if rep.ErrorRate > *maxErrRate {
+		return 1
 	}
 	return 0
+}
+
+// statusLatency is the latency distribution of one response status class.
+type statusLatency struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
 }
 
 type loadReport struct {
@@ -140,45 +159,66 @@ type loadReport struct {
 	Errors      int            `json:"errors"`
 	ErrorRate   float64        `json:"error_rate"`
 	ByStatus    map[string]int `json:"by_status"`
-	P50Ms       float64        `json:"p50_ms"`
-	P90Ms       float64        `json:"p90_ms"`
-	P99Ms       float64        `json:"p99_ms"`
-	MaxMs       float64        `json:"max_ms"`
+	// LatencyByStatus breaks the latency distribution down per status class
+	// (errors included): fast 500s and slow 200s are different failures.
+	LatencyByStatus map[string]statusLatency `json:"latency_by_status"`
+	P50Ms           float64                  `json:"p50_ms"`
+	P90Ms           float64                  `json:"p90_ms"`
+	P99Ms           float64                  `json:"p99_ms"`
+	MaxMs           float64                  `json:"max_ms"`
 }
 
-func report(results []result, elapsed time.Duration, concurrency, distinct int, asJSON bool) {
-	rep := loadReport{
-		Requests:    len(results),
-		Distinct:    distinct,
-		Concurrency: concurrency,
-		ElapsedSec:  elapsed.Seconds(),
-		Throughput:  float64(len(results)) / elapsed.Seconds(),
-		ByStatus:    map[string]int{},
+func statusKey(status int) string {
+	if status == 0 {
+		return "transport-error"
 	}
-	var ok []time.Duration
+	return fmt.Sprint(status)
+}
+
+// pctMs reads the p-th percentile, in milliseconds, from an ascending-sorted
+// latency slice (nearest-rank on the lower side, matching the old report).
+func pctMs(sorted []time.Duration, p float64) float64 {
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Microseconds()) / 1000
+}
+
+func buildReport(results []result, elapsed time.Duration, concurrency, distinct int) loadReport {
+	rep := loadReport{
+		Requests:        len(results),
+		Distinct:        distinct,
+		Concurrency:     concurrency,
+		ElapsedSec:      elapsed.Seconds(),
+		Throughput:      float64(len(results)) / elapsed.Seconds(),
+		ByStatus:        map[string]int{},
+		LatencyByStatus: map[string]statusLatency{},
+	}
+	perStatus := map[string][]time.Duration{}
 	for _, r := range results {
-		key := fmt.Sprint(r.status)
-		if r.status == 0 {
-			key = "transport-error"
-		}
+		key := statusKey(r.status)
 		rep.ByStatus[key]++
-		if r.status == http.StatusOK {
-			ok = append(ok, r.latency)
-		} else {
+		perStatus[key] = append(perStatus[key], r.latency)
+		if r.status != http.StatusOK {
 			rep.Errors++
 		}
 	}
 	rep.ErrorRate = float64(rep.Errors) / float64(len(results))
-	if len(ok) > 0 {
-		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
-		pct := func(p float64) float64 {
-			i := int(p * float64(len(ok)-1))
-			return float64(ok[i].Microseconds()) / 1000
+	for key, lats := range perStatus {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.LatencyByStatus[key] = statusLatency{
+			Count: len(lats),
+			P50Ms: pctMs(lats, 0.50),
+			P99Ms: pctMs(lats, 0.99),
+			MaxMs: pctMs(lats, 1),
 		}
-		rep.P50Ms, rep.P90Ms, rep.P99Ms = pct(0.50), pct(0.90), pct(0.99)
-		rep.MaxMs = float64(ok[len(ok)-1].Microseconds()) / 1000
 	}
+	if ok := perStatus[statusKey(http.StatusOK)]; len(ok) > 0 {
+		rep.P50Ms, rep.P90Ms, rep.P99Ms = pctMs(ok, 0.50), pctMs(ok, 0.90), pctMs(ok, 0.99)
+		rep.MaxMs = pctMs(ok, 1)
+	}
+	return rep
+}
 
+func printReport(rep loadReport, asJSON bool) {
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -189,8 +229,15 @@ func report(results []result, elapsed time.Duration, concurrency, distinct int, 
 		rep.Requests, rep.Distinct, rep.Concurrency, rep.ElapsedSec)
 	fmt.Printf("  throughput  %.1f req/s\n", rep.Throughput)
 	fmt.Printf("  errors      %d (%.2f%%)\n", rep.Errors, 100*rep.ErrorRate)
-	for status, n := range rep.ByStatus {
-		fmt.Printf("    %-16s %d\n", status, n)
+	statuses := make([]string, 0, len(rep.ByStatus))
+	for status := range rep.ByStatus {
+		statuses = append(statuses, status)
+	}
+	sort.Strings(statuses)
+	for _, status := range statuses {
+		l := rep.LatencyByStatus[status]
+		fmt.Printf("    %-16s %-6d p50 %.2fms  p99 %.2fms  max %.2fms\n",
+			status, l.Count, l.P50Ms, l.P99Ms, l.MaxMs)
 	}
 	fmt.Printf("  latency     p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)

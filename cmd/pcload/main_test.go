@@ -1,0 +1,77 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestBuildReportPerStatusLatency pins the report math: error counting, the
+// per-status latency breakdown, and the headline percentiles computed over
+// successful requests only.
+func TestBuildReportPerStatusLatency(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	results := []result{
+		{status: 200, latency: ms(10)},
+		{status: 200, latency: ms(20)},
+		{status: 200, latency: ms(30)},
+		{status: 200, latency: ms(40)},
+		{status: 500, latency: ms(2)},
+		{status: 500, latency: ms(4)},
+		{status: 0, latency: ms(1000)}, // transport error
+	}
+	rep := buildReport(results, 2*time.Second, 3, 5)
+
+	if rep.Requests != 7 || rep.Errors != 3 {
+		t.Fatalf("requests=%d errors=%d, want 7 and 3", rep.Requests, rep.Errors)
+	}
+	if got, want := rep.ErrorRate, 3.0/7.0; got != want {
+		t.Errorf("error rate %g, want %g", got, want)
+	}
+	if rep.ByStatus["200"] != 4 || rep.ByStatus["500"] != 2 || rep.ByStatus["transport-error"] != 1 {
+		t.Errorf("by_status = %v", rep.ByStatus)
+	}
+
+	okLat, ok := rep.LatencyByStatus["200"]
+	if !ok || okLat.Count != 4 || okLat.P50Ms != 20 || okLat.MaxMs != 40 {
+		t.Errorf("200 latency block = %+v (present=%v), want count 4, p50 20ms, max 40ms", okLat, ok)
+	}
+	errLat := rep.LatencyByStatus["500"]
+	if errLat.Count != 2 || errLat.P50Ms != 2 || errLat.MaxMs != 4 {
+		t.Errorf("500 latency block = %+v, want count 2, p50 2ms, max 4ms", errLat)
+	}
+	if tr := rep.LatencyByStatus["transport-error"]; tr.Count != 1 || tr.MaxMs != 1000 {
+		t.Errorf("transport-error latency block = %+v, want count 1, max 1000ms", tr)
+	}
+
+	// Headline percentiles must exclude errors: the 1000ms transport error
+	// would otherwise dominate MaxMs.
+	if rep.MaxMs != 40 || rep.P50Ms != 20 {
+		t.Errorf("headline latency p50=%g max=%g, want 20 and 40 (errors excluded)", rep.P50Ms, rep.MaxMs)
+	}
+
+	// The gate comparison used by run(): a 3/7 error rate passes a 0.5
+	// budget and fails the strict default.
+	if !(rep.ErrorRate > 0) {
+		t.Error("strict default would not have failed this run")
+	}
+	if rep.ErrorRate > 0.5 {
+		t.Error("a 0.5 budget would wrongly have failed this run")
+	}
+}
+
+// TestBuildReportAllOK pins the degenerate all-success shape: zero error
+// rate and a single latency block.
+func TestBuildReportAllOK(t *testing.T) {
+	results := []result{
+		{status: http.StatusOK, latency: time.Millisecond},
+		{status: http.StatusOK, latency: 2 * time.Millisecond},
+	}
+	rep := buildReport(results, time.Second, 1, 2)
+	if rep.Errors != 0 || rep.ErrorRate != 0 {
+		t.Fatalf("errors=%d rate=%g, want zero", rep.Errors, rep.ErrorRate)
+	}
+	if len(rep.LatencyByStatus) != 1 || rep.LatencyByStatus["200"].Count != 2 {
+		t.Errorf("latency_by_status = %v, want a single 200 block of 2", rep.LatencyByStatus)
+	}
+}

@@ -1,0 +1,31 @@
+// Package faultinject is the test harness for the serving tier's failure
+// modes.  It injects two distinct fault families, on command and
+// deterministically:
+//
+// # Network chaos (Proxy)
+//
+// A chaos proxy sits between a client (typically the pcfront tier under
+// test) and one HTTP backend, injecting the failures real fleets produce —
+// added latency, abrupt connection resets, 5xx replies, mid-body truncation,
+// and whole-backend outages ("kill" / "restart").  The proxy is plain
+// net/http plus connection hijacking, so it composes with httptest servers
+// on both sides; the end-to-end chaos tests in internal/front drive it.
+// These faults exercise the front tier's retry, health-check and breaker
+// machinery: the computation below is always correct, the transport is not.
+//
+// # Numeric chaos (NumericInjector)
+//
+// A numeric injector corrupts the LP solver itself, through the lp package's
+// fault hook (lp.SetFaultHook): basis-factorization entries are scaled,
+// refactorizations are forced singular, or the pivot budget is exhausted.
+// These faults exercise the solver's verification cascade and the service
+// tier's solver-discarding — the transport is fine, the arithmetic is not.
+// A corrupted solve must either be caught by the optimality certificate
+// (lp.Verify) and re-solved down the engine cascade, or fail with a typed
+// error the service maps to a retryable 500; a client must never observe a
+// wrong schedule.
+//
+// The two families compose: the numeric end-to-end tests in internal/front
+// run both at once to prove the stack heals arithmetic faults as invisibly
+// as network ones.
+package faultinject

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pfcache/internal/lp"
+)
+
+// NumericInjector drives the lp package's fault hook: while installed, every
+// Nth top-level solve in the process is handed a numeric fault on its first
+// cascade rung, rotating through three shapes — a corrupted reported
+// objective (deterministically caught by the certificate's recomputation),
+// factorization corruption (every factor entry scaled, surfacing as a failed
+// certificate, an untrusted terminal status or a singular basis), and a
+// forced-singular refactorization.  All are faults the verification cascade
+// must absorb: the damaged rung is abandoned and the cascade re-solves
+// clean, so the served bytes stay identical to an unfaulted solve.
+//
+// InjectExhaustion arms a harsher fault — a one-pivot budget on every rung —
+// that no cascade can absorb; it surfaces as lp.CascadeExhaustedError and
+// tests the typed-500/retry path instead of the self-healing path.
+//
+// The underlying hook is process-global, so at most one injector may be
+// installed at a time, and all solvers in the process (every in-process
+// backend of an end-to-end test) see its faults.
+type NumericInjector struct {
+	every int
+
+	mu      sync.Mutex
+	solves  int // solves seen since Install
+	exhaust int // pending InjectExhaustion plans
+
+	// Counters of injected faults (for test assertions).
+	Miscomputes atomic.Int64 // corrupted reported objectives
+	Corruptions atomic.Int64 // corrupted basis factorizations
+	Singulars   atomic.Int64 // forced-singular refactorizations
+	Exhaustions atomic.Int64 // exhausted pivot budgets
+}
+
+// NewNumericInjector builds an injector that faults every Nth solve
+// (every <= 1 means every solve).
+func NewNumericInjector(every int) *NumericInjector {
+	if every < 1 {
+		every = 1
+	}
+	return &NumericInjector{every: every}
+}
+
+// Install points the process-global lp fault hook at this injector.
+// Uninstall must be called before installing another.
+func (n *NumericInjector) Install() { lp.SetFaultHook(n.plan) }
+
+// Uninstall clears the process-global lp fault hook.
+func (n *NumericInjector) Uninstall() { lp.SetFaultHook(nil) }
+
+// InjectExhaustion arms count upcoming solves (cadence-independent: the very
+// next count solves, whatever their position) with a one-pivot budget on
+// every cascade rung, guaranteeing lp.CascadeExhaustedError.
+func (n *NumericInjector) InjectExhaustion(count int) {
+	n.mu.Lock()
+	n.exhaust += count
+	n.mu.Unlock()
+}
+
+// plan is the lp.SetFaultHook callback: called once per top-level solve, it
+// decides that solve's fault schedule.
+func (n *NumericInjector) plan() lp.FaultPlan {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.exhaust > 0 {
+		n.exhaust--
+		n.Exhaustions.Add(1)
+		return func(rung int) *lp.Fault {
+			return &lp.Fault{PivotBudget: 1}
+		}
+	}
+	n.solves++
+	if n.solves%n.every != 0 {
+		return nil
+	}
+	// Rotate the three recoverable faults; all hit rung 0 only, so the
+	// cascade's first clean re-solve heals them.
+	var f *lp.Fault
+	switch (n.solves/n.every - 1) % 3 {
+	case 0:
+		f = &lp.Fault{CorruptObjective: true}
+		n.Miscomputes.Add(1)
+	case 1:
+		f = &lp.Fault{CorruptFactor: true, CorruptEntry: -1}
+		n.Corruptions.Add(1)
+	default:
+		f = &lp.Fault{ForceSingular: true}
+		n.Singulars.Add(1)
+	}
+	return func(rung int) *lp.Fault {
+		if rung == 0 {
+			return f
+		}
+		return nil
+	}
+}

@@ -1,13 +1,3 @@
-// Package faultinject is a test harness for the serving tier: a chaos proxy
-// that sits between a client (typically the pcfront tier under test) and one
-// HTTP backend, injecting the failure modes real fleets produce — added
-// latency, abrupt connection resets, 5xx replies, mid-body truncation, and
-// whole-backend outages ("kill" / "restart") — on command and
-// deterministically.
-//
-// The proxy is plain net/http plus connection hijacking, so it composes with
-// httptest servers on both sides; the end-to-end chaos tests in
-// internal/front drive it.
 package faultinject
 
 import (

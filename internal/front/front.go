@@ -80,6 +80,12 @@ type Options struct {
 	// (0 = 10min; experiments are slow compared to schedule requests).
 	SweepTimeout time.Duration
 
+	// StatsTimeout bounds each per-backend /v1/stats fetch during stats
+	// aggregation (0 = 2s).  The fan-in runs the fetches concurrently, so
+	// this is also roughly the worst-case latency one slow backend can add
+	// to GET /v1/stats on the front.
+	StatsTimeout time.Duration
+
 	// Client overrides the HTTP client used for backend traffic and health
 	// probes (nil = a client with sane timeouts).
 	Client *http.Client
@@ -132,6 +138,9 @@ func New(opts Options) (*Front, error) {
 	}
 	if opts.SweepTimeout <= 0 {
 		opts.SweepTimeout = 10 * time.Minute
+	}
+	if opts.StatsTimeout <= 0 {
+		opts.StatsTimeout = 2 * time.Second
 	}
 	if opts.HealthPath == "" {
 		opts.HealthPath = "/readyz"

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"sync"
-	"time"
 )
 
 // BackendStatus is one backend's entry in the aggregated /v1/stats reply.
@@ -77,10 +76,11 @@ func (f *Front) Stats(ctx context.Context) StatsResponse {
 	return resp
 }
 
-// fetchBackendStats pulls one backend's /v1/stats with a short deadline,
-// returning nil on any failure (stats aggregation is best-effort).
+// fetchBackendStats pulls one backend's /v1/stats with a short deadline
+// (Options.StatsTimeout), returning nil on any failure (stats aggregation is
+// best-effort: a slow or dead backend loses its Stats block, nothing more).
 func (f *Front) fetchBackendStats(ctx context.Context, base string) json.RawMessage {
-	sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	sctx, cancel := context.WithTimeout(ctx, f.opts.StatsTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(sctx, "GET", base+"/v1/stats", nil)
 	if err != nil {

@@ -1,0 +1,85 @@
+package front_test
+
+import (
+	"testing"
+	"time"
+
+	"pfcache/internal/faultinject"
+	"pfcache/internal/front"
+)
+
+// TestFrontStatsTimeoutBoundsSlowBackend pins the /v1/stats fan-in bound: a
+// backend that answers slowly (here: behind a latency-injecting proxy) loses
+// its Stats block but cannot stall the aggregate — the front's reply returns
+// within the per-backend deadline, not the backend's latency.
+func TestFrontStatsTimeoutBoundsSlowBackend(t *testing.T) {
+	fast := newBackend(t)
+	slow := newBackend(t)
+	p := faultinject.New(slow.URL)
+	t.Cleanup(p.Close)
+
+	const statsTimeout = 75 * time.Millisecond
+	f, _ := newFront(t, []string{fast.URL, p.URL()}, func(o *front.Options) {
+		o.StatsTimeout = statsTimeout
+	})
+
+	// Both backends healthy and fast: both Stats blocks must be present.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats(t.Context()).HealthyBackends != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("front never saw both backends healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, b := range f.Stats(t.Context()).Backends {
+		if b.Stats == nil {
+			t.Fatalf("fast healthy backend %s has no stats block", b.URL)
+		}
+	}
+
+	// Now one backend turns slow — far past the stats deadline, but well
+	// under the health timeout, so it stays in the healthy set and the stats
+	// fan-in still queries it.
+	const latency = 600 * time.Millisecond
+	p.SetLatency(latency)
+
+	start := time.Now()
+	stats := f.Stats(t.Context())
+	elapsed := time.Since(start)
+	// The generous margin (deadline + half the injected latency) keeps the
+	// bound meaningful without flaking on loaded -race runs: an unbounded
+	// fan-in would take the full latency or longer.
+	if elapsed >= latency {
+		t.Errorf("stats fan-in took %v, not bounded by the %v per-backend deadline", elapsed, statsTimeout)
+	}
+	if stats.HealthyBackends != 2 {
+		t.Fatalf("healthy backends = %d during latency, want 2 (latency must stay under the health timeout)", stats.HealthyBackends)
+	}
+	var sawFast, sawSlow bool
+	for _, b := range stats.Backends {
+		switch b.URL {
+		case fast.URL:
+			sawFast = true
+			if b.Stats == nil {
+				t.Error("fast backend lost its stats block to the slow one")
+			}
+		case p.URL():
+			sawSlow = true
+			if b.Stats != nil {
+				t.Error("slow backend delivered stats inside a deadline it cannot meet")
+			}
+		}
+	}
+	if !sawFast || !sawSlow {
+		t.Fatalf("stats reply missing a backend entry: %+v", stats.Backends)
+	}
+
+	// Latency cleared: the slow backend's stats come back — the timeout is
+	// what cut them off, not a sticky failure state.
+	p.SetLatency(0)
+	for _, b := range f.Stats(t.Context()).Backends {
+		if b.URL == p.URL() && b.Stats == nil {
+			t.Error("recovered backend still has no stats block")
+		}
+	}
+}

@@ -81,6 +81,43 @@
 // flat vs the retired dense reference) and as the automatic fallback should
 // a refactorization ever go numerically singular.
 //
+// # Verified solves and the engine cascade
+//
+// Verify (verify.go) checks a finished Solution against its Problem as an
+// independent certificate: primal feasibility of X (variable bounds and
+// per-constraint residuals, relative to 1+|b_i|), the reported objective
+// against a recomputation c'x, and — for Optimal solutions, whose duals the
+// revised solver captures at termination — dual feasibility of the priced
+// reduced costs.  A failure is a *VerificationError naming the first check
+// that failed ("bounds", "primal-residual", "objective",
+// "dual-feasibility") and by how much.  The checks use only the Problem's
+// own data, never the solver's factorization, so a corrupted basis inverse
+// cannot vouch for itself.
+//
+// Options.Cascade (cascade.go) turns a solve into a self-healing ladder.
+// Every Optimal result must pass Verify before it is returned; a failed
+// certificate, a singular refactorization, or an exhausted per-rung pivot
+// budget abandons the rung and re-solves one rung down — first the
+// configured engines cold (discarding a possibly poisoned warm basis), then
+// the reference engines (PricingDantzig over BasisEta) cold, finally
+// MethodFlat.  Infeasible/Unbounded are accepted only from the final rung,
+// since a damaged factorization can misreport either.  Solution.Downgrades
+// records how many rungs were abandoned (0 = first try verified), and the
+// process-wide VerifiedSolves/VerifyFailures/CascadeFallbacks counters make
+// silent corruption observable.  If every rung fails, the solve returns
+// *CascadeExhaustedError wrapping the last rung's error.  Without Cascade, a
+// solve that exceeds Options.MaxIterations reports StatusIterLimit, and
+// asking for more iterations than the budget allows yields
+// *PivotBudgetError.
+//
+// The cascade's healing is exact, not approximate: rung 1 re-runs the same
+// engines from a cold start, which is bit-identical to an unfaulted cold
+// solve, so callers that cache or compare response bytes (the service tier)
+// serve the same bytes whether or not a fault was healed.  SetFaultHook
+// (fault.go) is the test-only seam that lets internal/faultinject corrupt
+// factorizations, reported objectives and refactorizations on chosen rungs
+// to prove exactly that.
+//
 // Every working buffer of all engines lives on a reusable Solver, so
 // repeated solves — the experiment sweeps solve hundreds of similar-sized
 // programs — run without allocating in steady state.  The package-level

@@ -92,6 +92,10 @@ type revisedSolver struct {
 	keepWarm bool
 	haveWarm bool
 	lastWarm WarmBasis
+
+	// fault is the injected numerical failure of the current solve (nil in
+	// production; see fault.go).  Solver.solve arms and clears it.
+	fault *Fault
 }
 
 // solve runs the two-phase revised simplex.  A non-nil warm basis is tried
@@ -114,6 +118,7 @@ func (r *revisedSolver) solve(p *Problem, opts Options, tol float64, warm *WarmB
 	r.seResets = 0
 	r.allocs = 0
 	r.warmStarted = false
+	r.phase = 0 // not stale from the last solve: faults gate on the phase
 	r.load(p)
 
 	r.refactorEvery = opts.RefactorEvery
@@ -132,6 +137,12 @@ func (r *revisedSolver) solve(p *Problem, opts Options, tol float64, warm *WarmB
 		if r.refactorEvery > cap {
 			r.refactorEvery = cap
 		}
+	}
+	if r.fault.armed() {
+		// Refactorize after every pivot so a corrupt-factor or
+		// force-singular fault bites on the first pivot instead of depending
+		// on the solve happening to refactorize.
+		r.refactorEvery = 1
 	}
 
 	maxIter := maxIterations(opts, r.rows, r.cols)
@@ -607,6 +618,9 @@ func (r *revisedSolver) ratioTestSE() int {
 // r.alpha: update the basic values, append an update eta, and refactorize
 // when the file is long or the basic values have drifted.
 func (r *revisedSolver) pivot(leave, enter int) error {
+	if f := r.fault; f != nil && f.PerturbPivot != 0 {
+		r.alpha[leave] *= 1 + f.PerturbPivot
+	}
 	theta := r.xB[leave] / r.alpha[leave]
 	// One fused sweep over the FTRAN'd column updates the basic values and
 	// writes the update eta's off-pivot entries (what etaFile.push would do
@@ -692,12 +706,18 @@ func (r *revisedSolver) residual() float64 {
 // entry, singleton slack and artificial columns first so the structural
 // columns fill against as short a file as possible.
 func (r *revisedSolver) refactorize() error {
+	if f := r.fault; f != nil && f.ForceSingular {
+		return errSingularBasis
+	}
 	r.refactors++
 	if r.basisMode == BasisLU {
 		cols := r.colBuf[:r.rows]
 		copy(cols, r.basis)
 		if err := r.lu.factorize(r, cols); err != nil {
 			return err
+		}
+		if f := r.fault; f != nil && f.CorruptFactor && r.phase == 2 {
+			f.apply(r.lu.uDiagInv)
 		}
 		r.luFills += r.lu.fills
 		for k, row := range r.lu.pivRow {
@@ -745,6 +765,9 @@ func (r *revisedSolver) refactorize() error {
 			r.etaColumns++
 			r.basis[pivotRow] = j
 		}
+	}
+	if f := r.fault; f != nil && f.CorruptFactor && r.phase == 2 {
+		f.apply(r.eta.pivInv)
 	}
 	copy(r.xB, r.m.b)
 	r.eta.ftran(r.xB)
@@ -834,6 +857,18 @@ func (r *revisedSolver) solution(status Status, p *Problem) *Solution {
 	if status == StatusOptimal {
 		sol.X = r.extract()
 		sol.Objective = p.Value(sol.X)
+		if f := r.fault; f != nil && f.CorruptObjective {
+			// An offset of 1+|obj| clears Verify's relative tolerance on any
+			// problem, so the fault is deterministically caught, never a
+			// silent no-op.
+			sol.Objective += 1 + math.Abs(sol.Objective)
+		}
+		// Capture the final simplex multipliers (one BTRAN plus one copy) so
+		// Verify can price the dual-feasibility check without re-deriving
+		// them from the factored inverse the check is meant to distrust the
+		// output of.
+		r.computeDuals()
+		sol.duals = append([]float64(nil), r.y...)
 		if r.capture {
 			sol.Basis = r.captureBasis()
 		}

@@ -148,6 +148,14 @@ type Options struct {
 	// CaptureBasis asks an optimal revised solve to snapshot its final basis
 	// into Solution.Basis, for replay through Solver.SolveFrom.
 	CaptureBasis bool
+	// Cascade opts the revised method into the self-healing solve ladder:
+	// every Optimal result is checked against the independent certificate
+	// (Verify), and a verification failure, singular refactorization or
+	// exhausted pivot budget re-solves down the engine ladder — same engines
+	// cold, then Dantzig pricing over a pure eta file, then the flat
+	// reference path — instead of being returned.  See cascade.go.  Ignored
+	// by MethodFlat.
+	Cascade bool
 }
 
 // Solution is the result of a solve.
@@ -191,6 +199,16 @@ type Solution struct {
 	// Basis is the optimal basis snapshot requested by Options.CaptureBasis
 	// (nil otherwise or when the solve did not end optimal).
 	Basis *WarmBasis
+	// Downgrades is the number of cascade rungs abandoned before this
+	// solution was produced (always 0 without Options.Cascade; 0 under the
+	// cascade means the configured engines' own result verified).
+	Downgrades int
+
+	// duals holds the final simplex multipliers of a revised optimal solve,
+	// in the sign-normalised row space of the problem's CSC form; Verify
+	// prices the dual-feasibility check against them.  The flat path leaves
+	// them nil.
+	duals []float64
 }
 
 const defaultTolerance = 1e-9
@@ -274,11 +292,24 @@ func (s *Solver) solve(p *Problem, opts Options, warm *WarmBasis) (*Solution, er
 	if tol <= 0 {
 		tol = defaultTolerance
 	}
+	plan := loadFaultPlan()
+	if opts.Cascade && opts.Method == MethodRevised {
+		return s.cascadeSolve(p, opts, tol, warm, plan)
+	}
+	var fault *Fault
+	if plan != nil {
+		fault = plan(0)
+	}
+	if fault != nil && fault.PivotBudget > 0 {
+		opts.MaxIterations = fault.PivotBudget
+	}
 	var sol *Solution
 	var err error
 	switch opts.Method {
 	case MethodRevised:
+		s.rev.fault = fault
 		sol, err = s.rev.solve(p, opts, tol, warm)
+		s.rev.fault = nil
 		if err == errSingularBasis {
 			sol, err = s.flat.solve(p, opts, tol)
 		}

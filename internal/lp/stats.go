@@ -25,10 +25,21 @@ type Counters struct {
 	// WarmStarts is the number of solves that skipped phase one by starting
 	// from a transferred prior basis.
 	WarmStarts uint64
+	// VerifiedSolves is the number of cascade solves whose result passed the
+	// independent certificate check (Verify).
+	VerifiedSolves uint64
+	// VerifyFailures is the number of Optimal results the certificate check
+	// rejected (each one triggers a cascade fallback).
+	VerifyFailures uint64
+	// CascadeFallbacks is the number of rungs abandoned by the self-healing
+	// cascade (verification failures, singular refactorizations and
+	// exhausted pivot budgets all count).
+	CascadeFallbacks uint64
 }
 
 var stats struct {
 	solves, iters, passes, refactors, etas, luFills, warmStarts atomic.Uint64
+	verified, verifyFails, cascadeFalls                         atomic.Uint64
 }
 
 // recordSolve folds one finished solve into the package counters; callers
@@ -55,6 +66,9 @@ func StatsSnapshot() Counters {
 		EtaColumns:       stats.etas.Load(),
 		LUFills:          stats.luFills.Load(),
 		WarmStarts:       stats.warmStarts.Load(),
+		VerifiedSolves:   stats.verified.Load(),
+		VerifyFailures:   stats.verifyFails.Load(),
+		CascadeFallbacks: stats.cascadeFalls.Load(),
 	}
 }
 
@@ -67,4 +81,7 @@ func StatsReset() {
 	stats.etas.Store(0)
 	stats.luFills.Store(0)
 	stats.warmStarts.Store(0)
+	stats.verified.Store(0)
+	stats.verifyFails.Store(0)
+	stats.cascadeFalls.Store(0)
 }

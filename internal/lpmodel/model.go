@@ -87,6 +87,13 @@ type Fractional struct {
 	Iterations int
 	// Integral reports whether every x(I) is within tolerance of 0 or 1.
 	Integral bool
+	// Downgrades is the number of self-healing cascade rungs the solve
+	// abandoned before this solution verified (0 without lp.Options.Cascade,
+	// and 0 when the configured engines' own result passed verification).
+	// It never appears on the wire: a recovered solve is byte-identical to a
+	// clean one, and the counter exists so the service can taint the shard
+	// solver that needed recovering.
+	Downgrades int
 }
 
 // Build constructs the linear program of Section 3 for the instance.
@@ -430,6 +437,7 @@ func (m *Model) SolveWith(s *lp.Solver, opts lp.Options) (*Fractional, error) {
 		Objective:  sol.Objective,
 		Iterations: sol.Iterations,
 		Integral:   true,
+		Downgrades: sol.Downgrades,
 	}
 	const tol = 1e-6
 	for idx := range m.Intervals {

@@ -140,14 +140,14 @@ func TestShardPoolAffinity(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			h := uint64(i % 3)
-			p.run(context.Background(), h, func(_ context.Context, s *lp.Solver) error {
+			p.run(context.Background(), h, func(_ context.Context, s *lp.Solver) (bool, error) {
 				mu.Lock()
 				defer mu.Unlock()
 				if prev, ok := seen[h]; ok && prev != s {
 					t.Errorf("hash %d ran on two different solvers", h)
 				}
 				seen[h] = s
-				return nil
+				return false, nil
 			})
 		}(i)
 	}

@@ -65,10 +65,17 @@ func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, in
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Every served solve runs under the verification cascade: the result
+		// is checked against the independent optimality certificate, and a
+		// numerical failure re-solves down the engine ladder instead of being
+		// cached, replicated and frozen into benchmark tables.  A clean
+		// solve's response is byte-identical with or without the cascade.
+		opts.Cascade = true
 		frac, err := m.SolveWith(solver, opts)
 		if err != nil {
 			return nil, err
 		}
+		resp.downgrades = frac.Downgrades
 		res, err := lpmodel.Extract(m, frac)
 		if err != nil {
 			return nil, err

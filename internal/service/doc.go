@@ -41,6 +41,18 @@
 //     server-side ScheduleTimeout maps to 504.
 //   - Solver panics are recovered per-request into 500s (and counted), so
 //     one poisoned instance cannot take the process down.
+//   - lp-optimal solves run with the solver's verification cascade
+//     (lp.Options.Cascade): every served LP solution carries a passed
+//     certificate, and a solve damaged by numeric faults re-solves itself
+//     down the engine ladder, byte-identically to a clean solve.  A shard
+//     whose solve was downgraded — or whose solver panicked — discards its
+//     pooled solver for a fresh one (counted in /v1/stats as
+//     solver_resets), so latent corruption never carries into later
+//     requests.  A cascade exhausted on every rung surfaces as a typed 500
+//     carrying the lp.CascadeExhaustedError text, which the front tier
+//     treats as retryable; failures are never cached.  The lp block of
+//     /v1/stats exposes verified_solves, verify_failures and
+//     cascade_fallbacks for dashboards to alarm on.
 //   - Request bodies are bounded (413 beyond 16 MiB), and /healthz
 //     (liveness: always 200 while the process runs) is split from /readyz
 //     (readiness: 503 after BeginDrain), which lets a supervisor drain a

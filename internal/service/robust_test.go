@@ -18,10 +18,10 @@ func TestShardPoolSheds(t *testing.T) {
 
 	block := make(chan struct{})
 	executing := make(chan struct{})
-	go p.run(context.Background(), 0, func(context.Context, *lp.Solver) error {
+	go p.run(context.Background(), 0, func(context.Context, *lp.Solver) (bool, error) {
 		close(executing)
 		<-block
-		return nil
+		return false, nil
 	})
 	<-executing // the worker is now busy
 
@@ -29,13 +29,13 @@ func TestShardPoolSheds(t *testing.T) {
 	// occupied (the worker is still blocked, so it cannot drain it).
 	queued := make(chan error, 1)
 	go func() {
-		queued <- p.run(context.Background(), 0, func(context.Context, *lp.Solver) error { return nil })
+		queued <- p.run(context.Background(), 0, func(context.Context, *lp.Solver) (bool, error) { return false, nil })
 	}()
 	for len(p.shards[0].tasks) != 1 {
 		time.Sleep(time.Millisecond)
 	}
 
-	err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) error { return nil })
+	err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) (bool, error) { return false, nil })
 	if !errors.Is(err, ErrShardBusy) {
 		t.Fatalf("full queue returned %v, want ErrShardBusy", err)
 	}
@@ -56,7 +56,7 @@ func TestShardPoolRecoversPanic(t *testing.T) {
 	p := newShardPool(1, 4)
 	defer p.close()
 
-	err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) error {
+	err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) (bool, error) {
 		panic("poisoned instance")
 	})
 	var pe *PanicError
@@ -68,9 +68,9 @@ func TestShardPoolRecoversPanic(t *testing.T) {
 	}
 
 	ran := false
-	if err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) error {
+	if err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) (bool, error) {
 		ran = true
-		return nil
+		return false, nil
 	}); err != nil || !ran {
 		t.Errorf("shard did not survive the panic: ran=%v err=%v", ran, err)
 	}
@@ -85,10 +85,10 @@ func TestShardPoolSkipsDeadTasks(t *testing.T) {
 
 	block := make(chan struct{})
 	executing := make(chan struct{})
-	go p.run(context.Background(), 0, func(context.Context, *lp.Solver) error {
+	go p.run(context.Background(), 0, func(context.Context, *lp.Solver) (bool, error) {
 		close(executing)
 		<-block
-		return nil
+		return false, nil
 	})
 	<-executing
 
@@ -96,9 +96,9 @@ func TestShardPoolSkipsDeadTasks(t *testing.T) {
 	ran := make(chan struct{}, 1)
 	resc := make(chan error, 1)
 	go func() {
-		resc <- p.run(ctx, 0, func(context.Context, *lp.Solver) error {
+		resc <- p.run(ctx, 0, func(context.Context, *lp.Solver) (bool, error) {
 			ran <- struct{}{}
-			return nil
+			return false, nil
 		})
 	}()
 	// Cancel once the task visibly sits in the queue behind the blocker; the
@@ -114,7 +114,7 @@ func TestShardPoolSkipsDeadTasks(t *testing.T) {
 	close(block)
 	// Drain: run one more task through the shard; by the time it executes,
 	// the dead task must have been skipped, not run.
-	if err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) error { return nil }); err != nil {
+	if err := p.run(context.Background(), 0, func(context.Context, *lp.Solver) (bool, error) { return false, nil }); err != nil {
 		t.Fatal(err)
 	}
 	select {

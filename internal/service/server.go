@@ -134,6 +134,7 @@ func (s *Server) Stats() StatsResponse {
 		Canceled:     s.canceled.Load(),
 		Timeouts:     s.timeouts.Load(),
 		Draining:     s.draining.Load(),
+		SolverResets: s.pool.resets.Load(),
 		LP:           lpCountersWire(lp.StatsSnapshot()),
 		Opt:          optCountersWire(opt.StatsSnapshot()),
 	}
@@ -256,7 +257,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return b, nil
 		}
 		var resp *ScheduleResponse
-		err := s.pool.run(fctx, fnvSum(canonical), func(tctx context.Context, solver *lp.Solver) error {
+		err := s.pool.run(fctx, fnvSum(canonical), func(tctx context.Context, solver *lp.Solver) (bool, error) {
 			// Each shard's solver remembers its last optimal basis; WarmStart
 			// lets the next same-shaped lp-optimal instance on this shard
 			// skip phase one (and a repeated instance — a cache miss after
@@ -265,7 +266,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			resp, cerr = ComputeSchedule(tctx, in, req.Strategy, req.IncludeSchedule, solver,
 				lp.Options{Method: s.opts.Solver, Pricing: s.opts.Pricing,
 					Basis: s.opts.Basis, WarmStart: true})
-			return cerr
+			if cerr != nil {
+				// A numerical failure taints the solver even though the request
+				// failed: whatever state drove the cascade to exhaustion must
+				// not seed the next request's warm start.
+				return numericFailure(cerr), cerr
+			}
+			// A solve the cascade had to downgrade succeeded, but the solver
+			// that produced the failure is suspect; discard it.
+			return resp.downgrades > 0, nil
 		})
 		if err != nil {
 			return nil, err
@@ -292,8 +301,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // writeScheduleError maps a schedule computation failure to its HTTP shape:
 // overload is 503 with a Retry-After hint, a server-side deadline is 504, a
 // client disconnect is logged as a counter (the peer is gone; the status is
-// moot), a recovered panic is 500, and anything else is a 422 from the
-// computation itself.
+// moot), a recovered panic or an exhausted solve cascade is 500 (this
+// replica's solver failed; another replica — or this one, after its shard
+// solver is replaced — may well succeed, so front tiers retry it), and
+// anything else is a 422 from the computation itself.
 func (s *Server) writeScheduleError(w http.ResponseWriter, ctx context.Context, err error) {
 	var pe *PanicError
 	switch {
@@ -308,9 +319,25 @@ func (s *Server) writeScheduleError(w http.ResponseWriter, ctx context.Context, 
 		httpError(w, statusClientClosedRequest, errors.New("service: request canceled"))
 	case errors.As(err, &pe):
 		httpError(w, http.StatusInternalServerError, err)
+	case numericFailure(err):
+		httpError(w, http.StatusInternalServerError, err)
 	default:
 		httpError(w, http.StatusUnprocessableEntity, err)
 	}
+}
+
+// numericFailure reports whether err is a numerical-robustness failure of the
+// LP solver — a cascade that ran out of engines, a pivot budget exhausted, or
+// a result the certificate check rejected — as opposed to a problem with the
+// request itself.  These taint the shard solver and surface as retryable
+// 500s rather than 422s: the request is fine, this solver instance is not.
+func numericFailure(err error) bool {
+	var (
+		ce *lp.CascadeExhaustedError
+		pb *lp.PivotBudgetError
+		ve *lp.VerificationError
+	)
+	return errors.As(err, &ce) || errors.As(err, &pb) || errors.As(err, &ve)
 }
 
 // statusClientClosedRequest is nginx's conventional status for "the client

@@ -31,10 +31,12 @@ func (e *PanicError) Error() string {
 // (the flight context for coalesced schedule requests): a task whose context
 // is already dead when a worker picks it up is skipped without touching the
 // solver, so canceled requests release their shard in queue-drain time, not
-// solve time.
+// solve time.  fn's first result is the taint verdict: true means the solver
+// suffered a numerical failure during the task (even a recovered one) and
+// must be discarded.
 type shardTask struct {
 	ctx  context.Context
-	fn   func(ctx context.Context, solver *lp.Solver) error
+	fn   func(ctx context.Context, solver *lp.Solver) (taint bool, err error)
 	err  error
 	done chan struct{}
 }
@@ -58,6 +60,7 @@ type shardPool struct {
 	shed    atomic.Uint64 // tasks rejected because a queue was full
 	panics  atomic.Uint64 // panics recovered from tasks
 	skipped atomic.Uint64 // tasks dropped because their context died in queue
+	resets  atomic.Uint64 // shard solvers discarded after a numerical failure
 }
 
 // newShardPool starts n shard goroutines (n <= 0 means one per CPU), each
@@ -96,13 +99,18 @@ const defaultQueueDepth = 64
 
 // runTask executes one task on the worker goroutine, converting a panic in
 // the computation into an error for the caller so a poisoned instance kills
-// one request, not the shard.
+// one request, not the shard.  A task that taints its solver — a numerical
+// failure, even one the cascade recovered from, or a panic that may have
+// left solver state half-written — gets the solver discarded: the next
+// request on this shard starts from fresh buffers and no warm basis, at the
+// cost of re-allocating tableaus once.
 func (p *shardPool) runTask(s *shard, t *shardTask) {
 	defer close(t.done)
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
 			t.err = &PanicError{Value: r}
+			p.discardSolver(s)
 		}
 	}()
 	if err := t.ctx.Err(); err != nil {
@@ -110,7 +118,18 @@ func (p *shardPool) runTask(s *shard, t *shardTask) {
 		t.err = err
 		return
 	}
-	t.err = t.fn(t.ctx, s.solver)
+	taint, err := t.fn(t.ctx, s.solver)
+	t.err = err
+	if taint {
+		p.discardSolver(s)
+	}
+}
+
+// discardSolver replaces the shard's solver with a fresh one.  Only the
+// shard's own goroutine calls it, so no locking is needed.
+func (p *shardPool) discardSolver(s *shard) {
+	s.solver = lp.NewSolver()
+	p.resets.Add(1)
 }
 
 // size returns the number of shards.
@@ -122,7 +141,7 @@ func (p *shardPool) size() int { return len(p.shards) }
 // immediately with ErrShardBusy (load shedding); when ctx ends first, run
 // returns ctx's error while the queued task drains as a cheap no-op (the
 // worker re-checks ctx before touching the solver).
-func (p *shardPool) run(ctx context.Context, hash uint64, fn func(context.Context, *lp.Solver) error) error {
+func (p *shardPool) run(ctx context.Context, hash uint64, fn func(context.Context, *lp.Solver) (bool, error)) error {
 	s := p.shards[hash%uint64(len(p.shards))]
 	t := &shardTask{ctx: ctx, fn: fn, done: make(chan struct{})}
 	select {

@@ -134,6 +134,12 @@ type ScheduleResponse struct {
 	Schedule []FetchWire `json:"schedule,omitempty"`
 	LP       *LPInfo     `json:"lp,omitempty"`
 	Opt      *OptInfo    `json:"opt,omitempty"`
+
+	// downgrades counts the cascade rungs the LP solve abandoned before
+	// verifying.  Deliberately unexported: a recovered response must stay
+	// byte-identical to a clean one on the wire, and the field only exists so
+	// the shard layer can discard a solver that needed recovering.
+	downgrades int
 }
 
 // TableWire is the wire form of one experiment result table.  Its JSON tags
@@ -169,6 +175,9 @@ type LPCountersWire struct {
 	EtaColumns       uint64 `json:"eta_columns"`
 	LUFills          uint64 `json:"lu_fills"`
 	WarmStarts       uint64 `json:"warm_starts"`
+	VerifiedSolves   uint64 `json:"verified_solves"`
+	VerifyFailures   uint64 `json:"verify_failures"`
+	CascadeFallbacks uint64 `json:"cascade_fallbacks"`
 }
 
 // lpCountersWire converts an lp.Counters snapshot to its wire form.
@@ -181,6 +190,9 @@ func lpCountersWire(c lp.Counters) LPCountersWire {
 		EtaColumns:       c.EtaColumns,
 		LUFills:          c.LUFills,
 		WarmStarts:       c.WarmStarts,
+		VerifiedSolves:   c.VerifiedSolves,
+		VerifyFailures:   c.VerifyFailures,
+		CascadeFallbacks: c.CascadeFallbacks,
 	}
 }
 
@@ -266,6 +278,14 @@ type StatsResponse struct {
 	Canceled uint64 `json:"canceled"`
 	Timeouts uint64 `json:"timeouts"`
 	Draining bool   `json:"draining"`
+
+	// SolverResets counts shard solvers discarded after a numerical failure
+	// (a solve that needed the verification cascade, a cascade exhaustion,
+	// or a recovered panic): the next request on that shard starts from a
+	// fresh solver instead of possibly-poisoned warm state.  The lp block's
+	// verify_failures / cascade_fallbacks counters record the failures
+	// themselves.
+	SolverResets uint64 `json:"solver_resets"`
 
 	LP  LPCountersWire  `json:"lp"`
 	Opt OptCountersWire `json:"opt"`

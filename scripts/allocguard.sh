@@ -5,11 +5,14 @@
 #    BenchmarkLPSolveFlat) must stay O(1) allocs per solve — that property is
 #    what keeps the E7/E8 sweeps allocation-free in steady state.
 #  * The revised solver's inner engines (internal/lp's
-#    BenchmarkRevisedSolve{,SteepestEdge,DantzigEta}E7Size) must keep their
-#    working state — steepest-edge weight arrays, the sparse pivot-row
-#    accumulator, and the LU factorization workspace — on the reusable
-#    Solver: a cold solve on warmed buffers allocates only the Solution and
-#    its X vector, so the same MAX_ALLOCS bound applies.
+#    BenchmarkRevisedSolve{,SteepestEdge,DantzigEta,Verified}E7Size) must
+#    keep their working state — steepest-edge weight arrays, the sparse
+#    pivot-row accumulator, and the LU factorization workspace — on the
+#    reusable Solver: a cold solve on warmed buffers allocates only the
+#    Solution, its X vector and the certificate's dual copy, so the same
+#    MAX_ALLOCS bound applies.  The Verified variant runs the full cascade
+#    path (Options.Cascade plus certificate checking) to guarantee
+#    verification never adds per-solve allocations beyond that copy.
 #  * The exact-search engine (BenchmarkOptSearchAStar*) must keep its flat
 #    arena + open-addressing memory layer: its allocs/op on a fixed instance
 #    is a small constant (seed schedules, arena growth doublings), while a
@@ -23,7 +26,7 @@ cd "$(dirname "$0")/.."
 MAX_ALLOCS="${MAX_ALLOCS:-8}"
 MAX_OPT_ALLOCS="${MAX_OPT_ALLOCS:-2000}"
 out=$(go test -run '^$' -bench 'BenchmarkLPSolve(Revised|Flat)$|BenchmarkOptSearchAStar' -benchmem -benchtime 1x .)
-lpout=$(go test -run '^$' -bench 'BenchmarkRevisedSolve(SteepestEdge|DantzigEta)?E7Size$' -benchmem -benchtime 1x ./internal/lp)
+lpout=$(go test -run '^$' -bench 'BenchmarkRevisedSolve(SteepestEdge|DantzigEta|Verified)?E7Size$' -benchmem -benchtime 1x ./internal/lp)
 out=$(printf '%s\n%s' "$out" "$lpout")
 echo "$out"
 echo "$out" | awk -v max="$MAX_ALLOCS" -v optmax="$MAX_OPT_ALLOCS" '
