@@ -279,6 +279,40 @@ func BenchmarkLPModelBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkModelBatchBuild measures the arena-backed rebuild path behind
+// lpmodel.ModelBatch: two E7-sized instances alternately rebuilt into one
+// Model with BuildInto, so every iteration performs two full builds (the
+// shapes differ, so nothing short-circuits) against converged buffers —
+// interval tables, variable maps, constraint scratch and the Problem's
+// coefficient arena are all reused.  Compare with BenchmarkLPModelBuild for
+// the from-scratch cost of the same builds; scripts/allocguard.sh bounds
+// this path's allocs/op.
+func BenchmarkModelBatchBuild(b *testing.B) {
+	seq1 := workload.Uniform(11, 6, 900)
+	in1 := workload.Instance(seq1, 3, 2, 3, workload.AssignStripe, 0)
+	seq2 := workload.Uniform(11, 6, 901)
+	in2 := workload.Instance(seq2, 3, 2, 3, workload.AssignStripe, 0)
+	var m lpmodel.Model
+	for warmup := 0; warmup < 4; warmup++ {
+		if err := lpmodel.BuildInto(&m, in1); err != nil {
+			b.Fatal(err)
+		}
+		if err := lpmodel.BuildInto(&m, in2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lpmodel.BuildInto(&m, in1); err != nil {
+			b.Fatal(err)
+		}
+		if err := lpmodel.BuildInto(&m, in2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExecTrace measures the schedule executor with event tracing
 // enabled, the mode the debugging tools and pcsim use.
 func BenchmarkExecTrace(b *testing.B) {

@@ -39,7 +39,7 @@ import (
 // current instances; pivot/iteration, refactorization, LU-fill, warm-start
 // and wall-time names are reserved so future tables can surface simplex
 // effort counters without freezing them into the baseline.
-var mutableColumn = regexp.MustCompile(`(?i)expanded|generated|pruned|pivots|iterations|states|seconds|refactor|warm.?start|lu.?fill|eta.?col`)
+var mutableColumn = regexp.MustCompile(`(?i)expanded|generated|pruned|pivots|iterations|states|seconds|refactor|warm.?start|lu.?fill|eta.?col|symbolic|batch`)
 
 func main() { os.Exit(run()) }
 

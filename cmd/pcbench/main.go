@@ -66,6 +66,7 @@ func run() int {
 	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
 	pricing := flag.String("pricing", "", "revised-simplex pricing rule: steepest-edge or dantzig (default: the suite's pinned dantzig)")
 	basis := flag.String("basis", "", "revised-simplex basis representation: lu or eta (default: the suite's pinned eta)")
+	batch := flag.Bool("batch", true, "route the LP-heavy experiment rows through batched solves (shared symbolic factorization, arena reuse); results are byte-identical either way")
 	timings := flag.String("timings", "", "file holding `go test -bench` output whose ns/op figures are embedded in the -json timings block")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
@@ -107,6 +108,7 @@ func run() int {
 			return 2
 		}
 	}
+	experiments.SetBatch(*batch)
 	var ids []string
 	if *runFlag != "" {
 		ids = strings.Split(*runFlag, ",")

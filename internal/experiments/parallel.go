@@ -95,7 +95,18 @@ func E7ParallelLPOptimal() (*report.Table, error) {
 			return fmt.Errorf("E7: engines disagree on D=%d n=%d seed=%d: astar %d, dijkstra %d",
 				disks, size.n, seed, optRes.Stall, dijkRes.Stall)
 		}
-		res, err := parallel.LPOptimalWith(in, lpOptions())
+		var res *lpmodel.PlanResult
+		if BatchEnabled() {
+			// The batched path shares solver arenas and symbolic
+			// factorizations across the rows this worker processes; a cold
+			// batched solve is bit-identical to the plain one, so the row
+			// values (and the recorded trajectories) do not depend on -batch.
+			mb := acquireBatch()
+			res, err = lpmodel.PlanBatch(mb, in, lpOptions())
+			releaseBatch(mb)
+		} else {
+			res, err = parallel.LPOptimalWith(in, lpOptions())
+		}
 		if err != nil {
 			return err
 		}
@@ -153,11 +164,29 @@ func E8ParallelHeuristics() (*report.Table, error) {
 		disks := diskSet[i]
 		seq := workload.Interleaved(16, disks, 5)
 		in := workload.Instance(seq, 4, 3, disks, workload.AssignStripe, 0)
-		m, err := lpmodel.Build(in)
-		if err != nil {
-			return err
+		var mb *lpmodel.ModelBatch
+		var m *lpmodel.Model
+		var frac *lpmodel.Fractional
+		var err error
+		if BatchEnabled() {
+			// Batched row group: the lower-bound solve below and the planning
+			// re-solve in the lp-optimal branch run through one ModelBatch, so
+			// the second solve reuses the built model (zero rebuild), the
+			// symbolic factorization and the pattern's warm basis.
+			mb = acquireBatch()
+			defer releaseBatch(mb)
+			m, err = mb.Model(in)
+			if err != nil {
+				return err
+			}
+			frac, err = m.SolveBatch(mb.LP(), lpOptions())
+		} else {
+			m, err = lpmodel.Build(in)
+			if err != nil {
+				return err
+			}
+			frac, err = m.Solve(lpOptions())
 		}
-		frac, err := m.Solve(lpOptions())
 		if err != nil {
 			return err
 		}
@@ -170,11 +199,23 @@ func E8ParallelHeuristics() (*report.Table, error) {
 		for ai, a := range algos {
 			if a.Name == "lp-optimal" {
 				// The lower-bound solve above already solved this exact LP;
-				// warm-starting the planning solve from its optimal basis
-				// terminates without a pivot at the same vertex, so the row
-				// value is identical to a cold Plan while the point pays for
-				// one phase-1 crash instead of two.
-				res, err := lpmodel.PlanFrom(in, lpOptions(), m.Basis())
+				// re-solving it warm terminates without a pivot at the same
+				// vertex, so the row value is identical to a cold Plan while
+				// the point pays for one phase-1 crash instead of two.  The
+				// batched form also skips the model rebuild: the same built
+				// Problem re-solved through the batch reuses the pattern's
+				// warm basis and symbolic factorization automatically.
+				var res *lpmodel.PlanResult
+				var err error
+				if mb != nil {
+					var frac2 *lpmodel.Fractional
+					frac2, err = m.SolveBatch(mb.LP(), lpOptions())
+					if err == nil {
+						res, err = lpmodel.Extract(m, frac2)
+					}
+				} else {
+					res, err = lpmodel.PlanFrom(in, lpOptions(), m.Basis())
+				}
 				if err != nil {
 					return fmt.Errorf("%s: %w", a.Name, err)
 				}

@@ -81,6 +81,53 @@
 // flat vs the retired dense reference) and as the automatic fallback should
 // a refactorization ever go numerically singular.
 //
+// # Batched solving
+//
+// A sweep solves many LPs that share one structure: the same constraint
+// pattern with different numbers, or literally the same Problem solved
+// twice (the E8 lower-bound-then-plan loop, a service shard's repeated
+// instance).  Batch (batch.go) amortises everything such solves can share,
+// at three layers:
+//
+// Symbolic factorization (lusym.go).  Factorizing a basis decomposes into a
+// symbolic phase — the Markowitz pivot order and the fill pattern, which
+// depend only on the nonzero structure — and the numeric elimination.  Every
+// BasisLU factorization records its skeleton (pivot order, per-step target
+// columns, update and fill keep/drop decisions) into a per-Solver cache
+// keyed by (problem pattern fingerprint, basis fingerprint); the next
+// factorization of the same pattern pair replays the recording against the
+// new values instead of re-running pivot selection.  The replay re-verifies
+// every value-dependent decision it replays (threshold pivot-row election,
+// update predicates, drop-tolerance calls) and falls back to a full
+// factorization on the first mismatch, so a passing replay is bit-identical
+// to what a fresh factorization would compute — reuse changes cost, never
+// bytes.  Solution.NumericRefactors counts refactorizations attempted
+// through the cache and Solution.SymbolicReuses the successful replays.
+//
+// Pattern identity (fingerprint.go).  Problem.PatternFingerprint hashes the
+// structural identity of a problem: variable and constraint counts, each
+// constraint's coefficient positions, and — because they decide the
+// slack/artificial column layout and signs in standard form — the bounds
+// structure: every constraint's effective sense and right-hand-side sign.
+// Two problems with identical coefficient positions but different fixed/free
+// row structure therefore never alias one cached symbolic analysis.
+//
+// Arenas and warm state (batch.go).  A Batch owns one Solver — tableau
+// scratch, eta/LU storage, candidate lists, all sized by the first solve and
+// reused allocation-free — plus per-pattern slots holding a warm basis and a
+// dual-certificate arena.  Batch.Solve warm-starts a member only when the
+// caller opted in (Options.WarmStart) or the problem is the same unmutated
+// Problem the member last solved; otherwise the solve is cold and
+// bit-identical to the same solve on a fresh Solver, which is what keeps
+// recorded benchmark tables independent of batching.  BatchSolve sweeps a
+// whole problem list, surviving failed members without corrupting the
+// arenas of the rest.  In steady state a batched solve performs exactly two
+// allocations (the Solution and its X vector), a property
+// scripts/allocguard.sh pins.  Batching composes with the cascade: a
+// downgraded solve poisons the member's warm basis and the solver's whole
+// symbolic cache, since skeletons recorded under suspect numerics must not
+// vouch for later solves.
+//
 // # Verified solves and the engine cascade
 //
 // Verify (verify.go) checks a finished Solution against its Problem as an

@@ -1,0 +1,58 @@
+package lp
+
+// PatternFingerprint returns a 64-bit FNV-1a hash of the problem's
+// *structure*: everything that determines the standard-form layout the
+// revised solver builds, and nothing that depends on coefficient values.
+// Two problems share a fingerprint exactly when they have the same variable
+// count, the same constraints in the same order with the same nonzero
+// positions, the same effective senses, and the same right-hand-side sign
+// pattern.
+//
+// The last two terms matter: the sense/sign structure fixes which rows get
+// slack columns, which get artificials, and the ±1 of every slack — i.e. the
+// "bounds structure" of the standard form.  Hashing only the CSC nonzero
+// positions would alias problems whose coefficient matrix matches but whose
+// fixed/free row structure differs, and a symbolic LU analysis recorded for
+// one would then be replayed against a basis with a different column layout.
+// (The Batch warm-start path and the symbolic-factorization cache both key
+// on this fingerprint, so the distinction is load-bearing, not cosmetic.)
+//
+// The hash is cached per problem version, so repeated calls between
+// mutations cost one mutex acquisition.
+func (p *Problem) PatternFingerprint() uint64 {
+	p.cscMu.Lock()
+	defer p.cscMu.Unlock()
+	if p.fpVersion == p.version && p.fpValid {
+		return p.fp
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(p.numVars))
+	mix(uint64(len(p.cons)))
+	for i := range p.cons {
+		c := &p.cons[i]
+		tag := uint64(effectiveSense(*c)) << 1
+		if c.RHS < 0 {
+			tag |= 1
+		}
+		mix(tag)
+		mix(uint64(len(c.Coeffs)))
+		for _, co := range c.Coeffs {
+			mix(uint64(co.Var))
+		}
+	}
+	p.fp = h
+	p.fpVersion = p.version
+	p.fpValid = true
+	return h
+}

@@ -1,0 +1,301 @@
+package lp
+
+import "math"
+
+// This file is the symbolic half of the basis LU split: a factorization's
+// value-independent skeleton (Markowitz pivot order, elimination targets,
+// fill pattern) is recorded once per (problem pattern, basis) pair and then
+// *replayed* against new numeric values, skipping the Markowitz machinery —
+// the count buckets, the per-row column lists and the active-count
+// bookkeeping that exist only to choose pivots — on every later
+// refactorization of the same basis structure.
+//
+// The catch is that the Markowitz choices are not purely symbolic: the
+// pivot-row choice applies threshold partial pivoting to the current values,
+// and fill-in below luDrop is not recorded.  A blind replay against different
+// values could therefore diverge from what a fresh factorization would do.
+// The replay is made exact by *verifying* every value-dependent decision as
+// it is replayed:
+//
+//   - the pivot-row selection loop is re-run against the new values and must
+//     elect the recorded row;
+//   - each target column's "had an update" predicate (u != 0 with live
+//     multipliers) must match the recording;
+//   - each fill candidate's keep/drop verdict under luDrop must match the
+//     recorded bit, consumed in order.
+//
+// Everything else — which column pivots at each step, which columns are
+// elimination targets, which entries freeze into U — is a deterministic
+// function of the initial pattern plus those verified decisions, so a replay
+// that passes all checks produces bit-identical factors to a fresh
+// factorization (same operations in the same order), and one that fails any
+// check falls back to the full factorize, which reloads the working columns
+// from scratch and is untouched by the partial replay.  Callers therefore
+// never observe a difference beyond the symbolic_reuses/numeric_refactors
+// counters.
+
+// luSymbolic is one recorded elimination skeleton.
+type luSymbolic struct {
+	rows     int
+	pivRow   []int32 // per step: the elected pivot row (verified on replay)
+	pivCol   []int32 // per step: the Markowitz-chosen pivot column slot
+	tStart   []int32 // rows+1 offsets into tCol/tHadUpd
+	tCol     []int32 // per step: elimination-target column slots, in order
+	tHadUpd  []bool  // per target: whether the update loop ran (verified)
+	fillKeep []bool  // per fill candidate, in order: kept vs dropped (verified)
+}
+
+func (rec *luSymbolic) reset(rows int) {
+	rec.rows = rows
+	rec.pivRow = rec.pivRow[:0]
+	rec.pivCol = rec.pivCol[:0]
+	rec.tStart = append(rec.tStart[:0], 0)
+	rec.tCol = rec.tCol[:0]
+	rec.tHadUpd = rec.tHadUpd[:0]
+	rec.fillKeep = rec.fillKeep[:0]
+}
+
+// symCacheSize bounds the per-solver symbolic cache.  A cold solve walks
+// through many transient bases, but the steady-state pattern — warm-start
+// installs and periodic refactorizations of near-optimal bases — revisits a
+// handful of structures, and a sweep of same-pattern instances revisits the
+// same handful across members.
+const symCacheSize = 16
+
+// symEntry is one cache slot: a skeleton keyed by the problem's structural
+// fingerprint plus a hash of the basis column slots.
+type symEntry struct {
+	probFP  uint64
+	basisFP uint64
+	valid   bool
+	rec     luSymbolic
+}
+
+// symCache is a small round-robin-evicting map from (problem pattern, basis)
+// to recorded skeletons.  Sixteen entries are scanned linearly; two uint64
+// compares per entry are noise next to the factorization they gate.
+type symCache struct {
+	entries []*symEntry
+	clock   int
+}
+
+// basisFingerprint hashes the basis column slots (FNV-1a over the column
+// indices).  Combined with the problem's PatternFingerprint this identifies
+// the exact structural input of a factorization.
+func basisFingerprint(slots []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, j := range slots {
+		v := uint64(j)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// lookup returns the valid entry for the key, or nil.
+func (c *symCache) lookup(probFP, basisFP uint64, rows int) *symEntry {
+	for _, e := range c.entries {
+		if e.valid && e.probFP == probFP && e.basisFP == basisFP && e.rec.rows == rows {
+			return e
+		}
+	}
+	return nil
+}
+
+// slot returns a (possibly recycled) entry to record the key into.  The
+// entry is invalid until the caller's factorization succeeds and it calls
+// commit.
+func (c *symCache) slot(probFP, basisFP uint64) *symEntry {
+	var e *symEntry
+	if len(c.entries) < symCacheSize {
+		e = &symEntry{}
+		c.entries = append(c.entries, e)
+	} else {
+		e = c.entries[c.clock%len(c.entries)]
+		c.clock++
+	}
+	e.probFP = probFP
+	e.basisFP = basisFP
+	e.valid = false
+	return e
+}
+
+// clear invalidates every entry (keeping their storage).  The cascade calls
+// this when a solve's certificate fails verification: a skeleton recorded
+// under suspect numerics must not vouch for future factorizations.
+func (c *symCache) clear() {
+	for _, e := range c.entries {
+		e.valid = false
+	}
+}
+
+// replay re-runs the recorded elimination against the current basis values,
+// verifying every value-dependent decision.  On success the factor state
+// (pivRow/pivSlot, L, U, fills) is bit-identical to what factorize would
+// produce; on any mismatch it returns false and leaves cleanup to the full
+// factorize the caller runs next (which reloads the columns from scratch).
+func (lu *luFactor) replay(r *revisedSolver, slots []int, rec *luSymbolic) bool {
+	m := r.rows
+	if rec.rows != m || len(rec.pivRow) != m {
+		return false
+	}
+	lu.grow(m, &r.allocs)
+	lu.rows = m
+
+	for i := 0; i < m; i++ {
+		lu.colIdx[i] = lu.colIdx[i][:0]
+		lu.colVal[i] = lu.colVal[i][:0]
+		lu.rowOrder[i] = -1
+		lu.rowCount[i] = 0
+	}
+
+	// Load the basis columns exactly as factorize does, minus the Markowitz
+	// bookkeeping (rowCols, colCount, buckets) the recording replaces.
+	for c, j := range slots {
+		switch {
+		case j < r.numVars:
+			cm := r.m
+			for s := cm.colPtr[j]; s < cm.colPtr[j+1]; s++ {
+				lu.pushCol(c, cm.rowIdx[s], cm.val[s], &r.allocs)
+			}
+		case j < r.artLo:
+			lu.pushCol(c, int32(r.slackRow[j-r.numVars]), r.slackSign[j-r.numVars], &r.allocs)
+		default:
+			lu.pushCol(c, int32(r.artRow[j-r.artLo]), 1, &r.allocs)
+		}
+		for _, row := range lu.colIdx[c] {
+			lu.rowCount[row]++
+		}
+	}
+
+	fillCur, tCur := 0, 0
+	for k := 0; k < m; k++ {
+		pc := int(rec.pivCol[k])
+		idx, val := lu.colIdx[pc], lu.colVal[pc]
+
+		// Re-run the threshold-partial-pivoting row election against the new
+		// values; the recorded skeleton is only valid if it elects the same
+		// row a fresh factorization would.
+		maxAbs := 0.0
+		for s, row := range idx {
+			if lu.rowOrder[row] >= 0 {
+				continue
+			}
+			if a := math.Abs(val[s]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs <= luSingular {
+			return false // fresh factorize will report errSingularBasis
+		}
+		thresh := luPivotRel * maxAbs
+		pr := int32(-1)
+		prCount := int32(0)
+		var pv float64
+		for s, row := range idx {
+			if lu.rowOrder[row] >= 0 {
+				continue
+			}
+			if math.Abs(val[s]) < thresh {
+				continue
+			}
+			if pr < 0 || lu.rowCount[row] < prCount || (lu.rowCount[row] == prCount && row < pr) {
+				pr, prCount, pv = row, lu.rowCount[row], val[s]
+			}
+		}
+		if pr != rec.pivRow[k] {
+			return false
+		}
+
+		lu.mGen++
+		mRows := lu.mRows[:0]
+		for s, row := range idx {
+			if row == pr {
+				continue
+			}
+			if ord := lu.rowOrder[row]; ord >= 0 {
+				if len(lu.uIdx) == cap(lu.uIdx) {
+					r.allocs++
+				}
+				lu.uIdx = append(lu.uIdx, ord)
+				lu.uVal = append(lu.uVal, val[s])
+				continue
+			}
+			l := val[s] / pv
+			if len(lu.lIdx) == cap(lu.lIdx) {
+				r.allocs++
+			}
+			lu.lIdx = append(lu.lIdx, row)
+			lu.lVal = append(lu.lVal, l)
+			lu.mVal[row] = l
+			lu.mMark[row] = lu.mGen
+			mRows = append(mRows, row)
+			lu.rowCount[row]--
+		}
+		lu.mRows = mRows
+		lu.pivRow = append(lu.pivRow, pr)
+		lu.pivSlot = append(lu.pivSlot, int32(pc))
+		lu.uDiagInv = append(lu.uDiagInv, 1/pv)
+		lu.lStart = append(lu.lStart, int32(len(lu.lIdx)))
+		lu.uStart = append(lu.uStart, int32(len(lu.uIdx)))
+
+		// Eliminate the recorded target columns, verifying the update
+		// predicate and every fill keep/drop verdict against the recording.
+		for stop := int(rec.tStart[k+1]); tCur < stop; tCur++ {
+			c2 := int(rec.tCol[tCur])
+			idx2, val2 := lu.colIdx[c2], lu.colVal[c2]
+			var u float64
+			found := false
+			for s, row := range idx2 {
+				if row == pr {
+					u, found = val2[s], true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+			had := u != 0 && len(mRows) > 0
+			if had != rec.tHadUpd[tCur] {
+				return false
+			}
+			if !had {
+				continue
+			}
+			lu.pGen++
+			for s, row := range idx2 {
+				if lu.mMark[row] == lu.mGen && lu.rowOrder[row] < 0 {
+					val2[s] -= lu.mVal[row] * u
+					lu.present[row] = lu.pGen
+				}
+			}
+			for _, row := range mRows {
+				if lu.present[row] == lu.pGen {
+					continue
+				}
+				f := -lu.mVal[row] * u
+				keep := !(f < luDrop && f > -luDrop)
+				if fillCur >= len(rec.fillKeep) || keep != rec.fillKeep[fillCur] {
+					return false
+				}
+				fillCur++
+				if !keep {
+					continue
+				}
+				lu.pushCol(c2, row, f, &r.allocs)
+				lu.rowCount[row]++
+				lu.fills++
+			}
+		}
+
+		lu.rowOrder[pr] = int32(k)
+	}
+	return fillCur == len(rec.fillKeep) && tCur == len(rec.tCol)
+}

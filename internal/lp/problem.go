@@ -61,6 +61,15 @@ type Problem struct {
 	slot  []int32
 	epoch int
 
+	// arena is the shared backing store for every constraint's Coeffs slice.
+	// Constraints keep full-capacity subslices of whatever array arena pointed
+	// at when they were added; growing the arena reallocates it but leaves the
+	// old arrays (and the constraints aliasing them) intact, so the only
+	// invalidation point is Reset.  With Reset-driven reuse (see BuildInto in
+	// internal/lpmodel) a rebuilt problem performs zero coefficient
+	// allocations in steady state.
+	arena []Coef
+
 	// The revised solver works from a compressed sparse column form of the
 	// constraint matrix.  It is built lazily on first solve and cached until
 	// the matrix changes (version counts matrix mutations); repeated solves
@@ -69,6 +78,11 @@ type Problem struct {
 	cscMu      sync.Mutex
 	cscCache   *cscMatrix
 	cscVersion int
+
+	// PatternFingerprint cache, guarded by cscMu alongside the CSC cache.
+	fp        uint64
+	fpVersion int
+	fpValid   bool
 }
 
 // NewProblem creates a problem with the given number of non-negative
@@ -81,6 +95,31 @@ func NewProblem(numVars int) *Problem {
 		numVars:   numVars,
 		objective: make([]float64, numVars),
 	}
+}
+
+// Reset empties the problem in place, keeping every internal buffer (the
+// coefficient arena, the objective vector, the merge scratch) at capacity so
+// the next build allocates nothing in steady state.  The problem afterwards
+// has numVars non-negative variables with zero objective and no constraints.
+//
+// Reset invalidates all Constraint values previously returned for this
+// problem: their Coeffs alias the arena being reused.  Callers that retain
+// constraints across builds must copy them first.
+func (p *Problem) Reset(numVars int) {
+	if numVars < 0 {
+		panic(fmt.Sprintf("lp: negative variable count %d", numVars))
+	}
+	p.numVars = numVars
+	if cap(p.objective) < numVars {
+		p.objective = make([]float64, numVars)
+	} else {
+		p.objective = p.objective[:numVars]
+		clear(p.objective)
+	}
+	p.cons = p.cons[:0]
+	p.arena = p.arena[:0]
+	p.nnz = 0
+	p.version++
 }
 
 // NumVars returns the number of variables.
@@ -116,32 +155,35 @@ func (p *Problem) Objective(v int) float64 {
 
 // AddConstraint adds the constraint sum_i coeffs_i {sense} rhs and returns
 // its index.  Coefficients referring to the same variable are summed (into
-// the variable's first occurrence) and zero coefficients are dropped.
+// the variable's first occurrence) and zero coefficients are dropped.  The
+// coefficients are copied into a problem-owned arena, so callers may reuse
+// the coeffs slice; the stored Coeffs stay valid until Reset.
 func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
 	for len(p.stamp) < p.numVars {
 		p.stamp = append(p.stamp, 0)
 		p.slot = append(p.slot, 0)
 	}
 	p.epoch++
-	out := make([]Coef, 0, len(coeffs))
+	start := len(p.arena)
 	for _, c := range coeffs {
 		p.checkVar(c.Var)
 		if p.stamp[c.Var] == p.epoch {
-			out[p.slot[c.Var]].Value += c.Value
+			p.arena[start+int(p.slot[c.Var])].Value += c.Value
 			continue
 		}
 		p.stamp[c.Var] = p.epoch
-		p.slot[c.Var] = int32(len(out))
-		out = append(out, c)
+		p.slot[c.Var] = int32(len(p.arena) - start)
+		p.arena = append(p.arena, c)
 	}
-	w := 0
-	for _, c := range out {
-		if c.Value != 0 {
-			out[w] = c
+	w := start
+	for s := start; s < len(p.arena); s++ {
+		if p.arena[s].Value != 0 {
+			p.arena[w] = p.arena[s]
 			w++
 		}
 	}
-	out = out[:w]
+	p.arena = p.arena[:w]
+	out := p.arena[start:w:w]
 	p.cons = append(p.cons, Constraint{Coeffs: out, Sense: sense, RHS: rhs})
 	p.nnz += len(out)
 	p.version++

@@ -191,6 +191,15 @@ type Solution struct {
 	// LUFills is the total fill-in (entries beyond the basis columns' own
 	// nonzeros) created by the BasisLU factorizations of this solve.
 	LUFills int
+	// NumericRefactors counts the BasisLU refactorizations of this solve that
+	// found a recorded symbolic skeleton for their (problem pattern, basis)
+	// structure and attempted a numeric-only replay (see lusym.go).
+	NumericRefactors int
+	// SymbolicReuses counts the attempted replays whose value-dependent
+	// decisions all verified, so the Markowitz analysis was skipped entirely.
+	// NumericRefactors - SymbolicReuses replays fell back to a full
+	// factorization.
+	SymbolicReuses int
 	// PricingRule is the entering-column rule the solve priced with.
 	PricingRule Pricing
 	// WarmStarted reports that the solve skipped phase one by starting from

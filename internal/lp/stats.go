@@ -25,6 +25,12 @@ type Counters struct {
 	// WarmStarts is the number of solves that skipped phase one by starting
 	// from a transferred prior basis.
 	WarmStarts uint64
+	// NumericRefactors is the number of refactorizations that found a
+	// recorded symbolic skeleton and attempted a numeric-only replay.
+	NumericRefactors uint64
+	// SymbolicReuses is the number of replays that verified, skipping the
+	// Markowitz analysis (see lusym.go).
+	SymbolicReuses uint64
 	// VerifiedSolves is the number of cascade solves whose result passed the
 	// independent certificate check (Verify).
 	VerifiedSolves uint64
@@ -39,6 +45,7 @@ type Counters struct {
 
 var stats struct {
 	solves, iters, passes, refactors, etas, luFills, warmStarts atomic.Uint64
+	symReuses, numRefactors                                     atomic.Uint64
 	verified, verifyFails, cascadeFalls                         atomic.Uint64
 }
 
@@ -51,6 +58,8 @@ func recordSolve(sol *Solution) {
 	stats.refactors.Add(uint64(sol.Refactorizations))
 	stats.etas.Add(uint64(sol.EtaColumns))
 	stats.luFills.Add(uint64(sol.LUFills))
+	stats.symReuses.Add(uint64(sol.SymbolicReuses))
+	stats.numRefactors.Add(uint64(sol.NumericRefactors))
 	if sol.WarmStarted {
 		stats.warmStarts.Add(1)
 	}
@@ -66,6 +75,8 @@ func StatsSnapshot() Counters {
 		EtaColumns:       stats.etas.Load(),
 		LUFills:          stats.luFills.Load(),
 		WarmStarts:       stats.warmStarts.Load(),
+		NumericRefactors: stats.numRefactors.Load(),
+		SymbolicReuses:   stats.symReuses.Load(),
 		VerifiedSolves:   stats.verified.Load(),
 		VerifyFailures:   stats.verifyFails.Load(),
 		CascadeFallbacks: stats.cascadeFalls.Load(),
@@ -81,6 +92,8 @@ func StatsReset() {
 	stats.etas.Store(0)
 	stats.luFills.Store(0)
 	stats.warmStarts.Store(0)
+	stats.symReuses.Store(0)
+	stats.numRefactors.Store(0)
 	stats.verified.Store(0)
 	stats.verifyFails.Store(0)
 	stats.cascadeFalls.Store(0)

@@ -59,6 +59,13 @@ type Model struct {
 	ix      *core.Index
 	initial map[core.BlockID]bool
 
+	// Constraint-assembly scratch, reused across every constraint of a build
+	// and across builds (BuildInto): AddConstraint copies coefficients into
+	// the Problem's own arena, so these can be recycled immediately.
+	coefBuf  []lp.Coef
+	coefBuf2 []lp.Coef
+	refBuf   []int
+
 	// startOff[s] is the index in Intervals of the first interval with
 	// Start == s (startOff has n+1 entries; the enumeration in Build is
 	// start-major, so the intervals starting at s are the contiguous run
@@ -98,18 +105,42 @@ type Fractional struct {
 
 // Build constructs the linear program of Section 3 for the instance.
 func Build(in *core.Instance) (*Model, error) {
-	if err := in.Validate(); err != nil {
+	m := &Model{}
+	if err := BuildInto(m, in); err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// BuildInto rebuilds m as the linear program of Section 3 for the instance,
+// reusing every buffer m already owns: the interval/block/variable tables,
+// the start-bucketed interval offsets, the constraint-assembly scratch and
+// the Problem itself (reset in place, keeping its coefficient arena).  A
+// model cycled through BuildInto across the rows of a sweep performs no
+// steady-state allocations beyond the per-instance block index.
+//
+// BuildInto leaves m exactly as Build would: in particular any previously
+// seeded warm basis is dropped (the batch path keeps warm bases per pattern
+// in lp.Batch instead, where they survive model reuse safely).
+func BuildInto(m *Model, in *core.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
 	}
 	n := in.N()
 	if n == 0 {
-		return nil, fmt.Errorf("lpmodel: empty request sequence")
+		return fmt.Errorf("lpmodel: empty request sequence")
 	}
-	m := &Model{
-		In:      in,
-		ix:      core.NewIndex(in.Seq),
-		initial: make(map[core.BlockID]bool),
+	m.In = in
+	m.ix = core.NewIndex(in.Seq)
+	if m.initial == nil {
+		m.initial = make(map[core.BlockID]bool)
+	} else {
+		clear(m.initial)
 	}
+	m.Dummies = m.Dummies[:0]
+	m.Blocks = m.Blocks[:0]
+	m.Intervals = m.Intervals[:0]
+	m.warm = nil
 	for _, b := range in.InitialCache {
 		m.initial[b] = true
 	}
@@ -131,7 +162,11 @@ func Build(in *core.Instance) (*Model, error) {
 	m.Blocks = append(m.Blocks, m.Dummies...)
 
 	// Enumerate intervals: Start in [0, n-1], End in [Start+1, min(n, Start+F+1)].
-	m.startOff = make([]int, n+1)
+	if cap(m.startOff) < n+1 {
+		m.startOff = make([]int, n+1)
+	} else {
+		m.startOff = m.startOff[:n+1]
+	}
 	for i := 0; i < n; i++ {
 		m.startOff[i] = len(m.Intervals)
 		for j := i + 1; j <= n && j-i-1 <= in.F; j++ {
@@ -140,9 +175,14 @@ func Build(in *core.Instance) (*Model, error) {
 	}
 	m.startOff[n] = len(m.Intervals)
 
-	prob := lp.NewProblem(0)
-	m.Problem = prob
-	m.xVar = make([]int, len(m.Intervals))
+	prob := m.Problem
+	if prob == nil {
+		prob = lp.NewProblem(0)
+		m.Problem = prob
+	} else {
+		prob.Reset(0)
+	}
+	m.xVar = resizeInts(m.xVar, len(m.Intervals))
 	for idx, iv := range m.Intervals {
 		m.xVar[idx] = prob.AddVariable(float64(iv.Stall(in.F)))
 	}
@@ -150,8 +190,8 @@ func Build(in *core.Instance) (*Model, error) {
 	// where the block is not referenced strictly inside the interval (the
 	// paper's constraint that a block may not be fetched or evicted while it
 	// is being referenced).
-	m.fVar = make([]int, len(m.Intervals)*len(m.Blocks))
-	m.eVar = make([]int, len(m.Intervals)*len(m.Blocks))
+	m.fVar = resizeInts(m.fVar, len(m.Intervals)*len(m.Blocks))
+	m.eVar = resizeInts(m.eVar, len(m.Intervals)*len(m.Blocks))
 	for idx, iv := range m.Intervals {
 		base := idx * len(m.Blocks)
 		for bi, b := range m.Blocks {
@@ -170,7 +210,7 @@ func Build(in *core.Instance) (*Model, error) {
 	// the interval ends.  A scratch fetch therefore counts towards the
 	// disk's fetch balance but needs no eviction and affects no block's
 	// presence constraints.
-	m.sVar = make([]int, len(m.Intervals)*in.Disks)
+	m.sVar = resizeInts(m.sVar, len(m.Intervals)*in.Disks)
 	for idx := range m.Intervals {
 		for d := 0; d < in.Disks; d++ {
 			m.sVar[idx*in.Disks+d] = prob.AddVariable(0)
@@ -180,7 +220,16 @@ func Build(in *core.Instance) (*Model, error) {
 	m.addBoundaryConstraints()
 	m.addPerIntervalConstraints()
 	m.addBlockFlowConstraints()
-	return m, nil
+	return nil
+}
+
+// resizeInts returns buf with length n, reallocating only when capacity is
+// short (contents are fully overwritten by the callers).
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // fetchVar returns the fetch variable of (interval idx, block position bi),
@@ -220,7 +269,7 @@ func (m *Model) blockReferencedInside(b core.BlockID, iv Interval) bool {
 // is assembled from the offsets without scanning the interval list.
 func (m *Model) addBoundaryConstraints() {
 	n := m.In.N()
-	var coeffs []lp.Coef
+	coeffs := m.coefBuf
 	for q := 1; q <= n-1; q++ {
 		coeffs = coeffs[:0]
 		lo := q - m.In.F // smallest start whose run (End <= s+F+1) reaches End >= q+1
@@ -239,6 +288,7 @@ func (m *Model) addBoundaryConstraints() {
 			m.Problem.AddConstraint(coeffs, lp.LE, 1)
 		}
 	}
+	m.coefBuf = coeffs
 }
 
 // addPerIntervalConstraints adds, for every interval, the per-disk fetch
@@ -247,7 +297,8 @@ func (m *Model) addPerIntervalConstraints() {
 	for idx := range m.Intervals {
 		x := m.xVar[idx]
 		for d := 0; d < m.In.Disks; d++ {
-			coeffs := []lp.Coef{{Var: x, Value: -1}, {Var: m.sVar[idx*m.In.Disks+d], Value: 1}}
+			coeffs := append(m.coefBuf[:0],
+				lp.Coef{Var: x, Value: -1}, lp.Coef{Var: m.sVar[idx*m.In.Disks+d], Value: 1})
 			for bi, b := range m.Blocks {
 				if m.blockDisk(b) != d {
 					continue
@@ -257,8 +308,9 @@ func (m *Model) addPerIntervalConstraints() {
 				}
 			}
 			m.Problem.AddConstraint(coeffs, lp.EQ, 0)
+			m.coefBuf = coeffs
 		}
-		var coeffs []lp.Coef
+		coeffs := m.coefBuf[:0]
 		for bi := range m.Blocks {
 			if v := m.fetchVar(idx, bi); v != noVar {
 				coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
@@ -268,6 +320,7 @@ func (m *Model) addPerIntervalConstraints() {
 			}
 		}
 		m.Problem.AddConstraint(coeffs, lp.EQ, 0)
+		m.coefBuf = coeffs
 	}
 }
 
@@ -314,7 +367,7 @@ func (m *Model) addBlockFlowConstraints() {
 			if !m.initial[b] {
 				continue
 			}
-			var coeffs []lp.Coef
+			coeffs := m.coefBuf[:0]
 			for _, idx := range m.gapIntervals(0, n) {
 				if v := m.evictVar(idx, bi); v != noVar {
 					coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
@@ -323,9 +376,11 @@ func (m *Model) addBlockFlowConstraints() {
 			if len(coeffs) > 0 {
 				m.Problem.AddConstraint(coeffs, lp.LE, 1)
 			}
+			m.coefBuf = coeffs
 			continue
 		}
-		refs := make([]int, len(occ))
+		refs := resizeInts(m.refBuf, len(occ))
+		m.refBuf = refs
 		for i, p := range occ {
 			refs[i] = p + 1 // 1-based request numbers
 		}
@@ -333,8 +388,8 @@ func (m *Model) addBlockFlowConstraints() {
 		if !m.initial[b] {
 			// The block must be fetched, and not evicted, before its first
 			// reference.
-			fc := []lp.Coef{}
-			ec := []lp.Coef{}
+			fc := m.coefBuf[:0]
+			ec := m.coefBuf2[:0]
 			for _, idx := range m.gapIntervals(0, first) {
 				if v := m.fetchVar(idx, bi); v != noVar {
 					fc = append(fc, lp.Coef{Var: v, Value: 1})
@@ -347,6 +402,7 @@ func (m *Model) addBlockFlowConstraints() {
 			if len(ec) > 0 {
 				m.Problem.AddConstraint(ec, lp.EQ, 0)
 			}
+			m.coefBuf, m.coefBuf2 = fc, ec
 		} else {
 			// Initially cached: within the gap before the first reference the
 			// block may be evicted and fetched back, at most once.
@@ -356,7 +412,7 @@ func (m *Model) addBlockFlowConstraints() {
 			m.addGapBalance(bi, refs[i], refs[i+1])
 		}
 		// After the last reference the block may be evicted at most once.
-		var coeffs []lp.Coef
+		coeffs := m.coefBuf[:0]
 		for _, idx := range m.gapIntervals(refs[len(refs)-1], n) {
 			if v := m.evictVar(idx, bi); v != noVar {
 				coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
@@ -365,6 +421,7 @@ func (m *Model) addBlockFlowConstraints() {
 		if len(coeffs) > 0 {
 			m.Problem.AddConstraint(coeffs, lp.LE, 1)
 		}
+		m.coefBuf = coeffs
 	}
 }
 
@@ -373,8 +430,8 @@ func (m *Model) addBlockFlowConstraints() {
 // starts in cache), the constraints sum f = sum e and sum e <= 1 over
 // intervals inside the gap.
 func (m *Model) addGapBalance(bi, lo, hi int) {
-	var balance []lp.Coef
-	var evict []lp.Coef
+	balance := m.coefBuf[:0]
+	evict := m.coefBuf2[:0]
 	for _, idx := range m.gapIntervals(lo, hi) {
 		if v := m.fetchVar(idx, bi); v != noVar {
 			balance = append(balance, lp.Coef{Var: v, Value: 1})
@@ -390,6 +447,7 @@ func (m *Model) addGapBalance(bi, lo, hi int) {
 	if len(evict) > 0 {
 		m.Problem.AddConstraint(evict, lp.LE, 1)
 	}
+	m.coefBuf, m.coefBuf2 = balance, evict
 }
 
 // Solve solves the LP relaxation and returns the fractional solution, using

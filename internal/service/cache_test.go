@@ -9,7 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
 )
 
 func TestLRUCacheEviction(t *testing.T) {
@@ -129,10 +129,10 @@ func TestFlightGroupCoalesces(t *testing.T) {
 }
 
 // TestShardPoolAffinity checks that equal hashes run on the same shard (the
-// same solver pointer) and that the pool drains cleanly.
+// same batch pointer) and that the pool drains cleanly.
 func TestShardPoolAffinity(t *testing.T) {
 	p := newShardPool(3, 64)
-	seen := make(map[uint64]*lp.Solver)
+	seen := make(map[uint64]*lpmodel.ModelBatch)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for i := 0; i < 30; i++ {
@@ -140,13 +140,13 @@ func TestShardPoolAffinity(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			h := uint64(i % 3)
-			p.run(context.Background(), h, func(_ context.Context, s *lp.Solver) (bool, error) {
+			p.run(context.Background(), h, func(_ context.Context, b *lpmodel.ModelBatch) (bool, error) {
 				mu.Lock()
 				defer mu.Unlock()
-				if prev, ok := seen[h]; ok && prev != s {
-					t.Errorf("hash %d ran on two different solvers", h)
+				if prev, ok := seen[h]; ok && prev != b {
+					t.Errorf("hash %d ran on two different batches", h)
 				}
-				seen[h] = s
+				seen[h] = b
 				return false, nil
 			})
 		}(i)
@@ -154,6 +154,6 @@ func TestShardPoolAffinity(t *testing.T) {
 	wg.Wait()
 	p.close()
 	if len(seen) != 3 {
-		t.Errorf("saw %d distinct solvers, want 3", len(seen))
+		t.Errorf("saw %d distinct batches, want 3", len(seen))
 	}
 }

@@ -16,15 +16,17 @@ import (
 // ComputeSchedule runs one strategy on one instance and assembles the
 // response.  It is the single code path behind the HTTP handler, the shards
 // and the tests: responses are byte-identical no matter which of them asks.
-// solver may be nil (a pooled solver is drawn for LP work); shards pass their
-// owned solver so repeated LP requests on one shard reuse tableau buffers.
+// mb may be nil (the model is built fresh and a pooled solver is drawn for
+// LP work); shards pass their owned lpmodel.ModelBatch, so repeated LP
+// requests on one shard reuse the built model, the tableau arenas, the
+// pattern's symbolic factorization and its warm basis.
 //
 // ctx bounds the computation: it is checked before each expensive stage
 // (exact search, LP build/solve/extract, simulation), so a canceled request
 // stops consuming its shard at the next stage boundary.  The solver cores
 // themselves are not interruptible mid-pivot; the stage checks bound the
 // overshoot to one engine call.
-func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, includeSchedule bool, solver *lp.Solver, opts lp.Options) (*ScheduleResponse, error) {
+func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, includeSchedule bool, mb *lpmodel.ModelBatch, opts lp.Options) (*ScheduleResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -58,20 +60,36 @@ func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, in
 			SeedOptimal:   res.SeedOptimal,
 		}
 	case "lp-optimal":
-		m, err := lpmodel.Build(in)
-		if err != nil {
-			return nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+		var m *lpmodel.Model
+		var frac *lpmodel.Fractional
+		var err error
 		// Every served solve runs under the verification cascade: the result
 		// is checked against the independent optimality certificate, and a
 		// numerical failure re-solves down the engine ladder instead of being
 		// cached, replicated and frozen into benchmark tables.  A clean
-		// solve's response is byte-identical with or without the cascade.
+		// solve's response is byte-identical with or without the cascade —
+		// and with or without the batch (the lp.Batch cold-solve contract),
+		// which only changes what is reused, never what is computed.
 		opts.Cascade = true
-		frac, err := m.SolveWith(solver, opts)
+		if mb != nil {
+			m, err = mb.Model(in)
+			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			frac, err = m.SolveBatch(mb.LP(), opts)
+		} else {
+			m, err = lpmodel.Build(in)
+			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			frac, err = m.SolveWith(nil, opts)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -17,12 +17,20 @@
 // Internally, schedule requests are sharded by the instance's canonical
 // fingerprint (core.Instance.Fingerprint) onto a fixed set of worker shards.
 // Each shard processes its requests serially on one goroutine and owns a
-// reusable lp.Solver, so the hot LP path keeps the steady-state allocation
-// discipline of the solver pool while never sharing a tableau between
-// concurrent solves.  In front of the shards sit a bounded LRU cache keyed
-// by the canonical instance encoding plus the strategy (so repeated requests
-// are answered from memory, byte-identically) and an in-flight table that
-// coalesces duplicate concurrent requests into a single computation.
+// reusable lpmodel.ModelBatch: the built LP models of its recent instances,
+// one lp.Solver whose arenas are sized once and reused allocation-free, the
+// recorded symbolic factorizations of its basis patterns and a warm basis
+// per problem pattern.  Requests for the same instance always hash to the
+// same shard, so within a shard every level of work is shared — a repeated
+// instance (a cache miss after eviction) skips the model rebuild and pivots,
+// a same-shaped instance reuses the symbolic analysis and warm-starts — and
+// across shards nothing is shared, so no tableau is ever touched by two
+// concurrent solves.  A shard's batch lives until a solve on it is tainted
+// (see below); only then is it discarded wholesale.  In front of the shards
+// sit a bounded LRU cache keyed by the canonical instance encoding plus the
+// strategy (so repeated requests are answered from memory, byte-identically)
+// and an in-flight table that coalesces duplicate concurrent requests into a
+// single computation.
 //
 // Sweeps take an exclusive lock while schedule requests hold a shared one:
 // the process-wide lp/opt counters embedded in sweep output stay exactly
@@ -46,13 +54,15 @@
 //     certificate, and a solve damaged by numeric faults re-solves itself
 //     down the engine ladder, byte-identically to a clean solve.  A shard
 //     whose solve was downgraded — or whose solver panicked — discards its
-//     pooled solver for a fresh one (counted in /v1/stats as
-//     solver_resets), so latent corruption never carries into later
-//     requests.  A cascade exhausted on every rung surfaces as a typed 500
-//     carrying the lp.CascadeExhaustedError text, which the front tier
-//     treats as retryable; failures are never cached.  The lp block of
-//     /v1/stats exposes verified_solves, verify_failures and
-//     cascade_fallbacks for dashboards to alarm on.
+//     whole batch for a fresh one (counted in /v1/stats as solver_resets):
+//     the models, warm bases and recorded symbolic factorizations that were
+//     live during the failure are all suspect, so latent corruption never
+//     carries into later requests.  A cascade exhausted on every rung
+//     surfaces as a typed 500 carrying the lp.CascadeExhaustedError text,
+//     which the front tier treats as retryable; failures are never cached.
+//     The lp block of /v1/stats exposes verified_solves, verify_failures,
+//     cascade_fallbacks, symbolic_reuses and numeric_refactors for
+//     dashboards to alarm on.
 //   - Request bodies are bounded (413 beyond 16 MiB), and /healthz
 //     (liveness: always 200 while the process runs) is split from /readyz
 //     (readiness: 503 after BeginDrain), which lets a supervisor drain a

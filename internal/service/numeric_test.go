@@ -153,7 +153,8 @@ func TestStatsWireFieldsGolden(t *testing.T) {
 	if !ok {
 		t.Fatalf("stats missing lp block: %v", m)
 	}
-	for _, k := range []string{"verified_solves", "verify_failures", "cascade_fallbacks"} {
+	for _, k := range []string{"verified_solves", "verify_failures", "cascade_fallbacks",
+		"symbolic_reuses", "numeric_refactors"} {
 		if _, ok := lpBlock[k]; !ok {
 			t.Errorf("lp stats missing %q: %v", k, lpBlock)
 		}

@@ -13,6 +13,7 @@ import (
 
 	"pfcache/internal/experiments"
 	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
 	"pfcache/internal/opt"
 )
 
@@ -257,22 +258,24 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return b, nil
 		}
 		var resp *ScheduleResponse
-		err := s.pool.run(fctx, fnvSum(canonical), func(tctx context.Context, solver *lp.Solver) (bool, error) {
-			// Each shard's solver remembers its last optimal basis; WarmStart
+		err := s.pool.run(fctx, fnvSum(canonical), func(tctx context.Context, batch *lpmodel.ModelBatch) (bool, error) {
+			// Each shard's batch keeps per-pattern warm bases; WarmStart
 			// lets the next same-shaped lp-optimal instance on this shard
 			// skip phase one (and a repeated instance — a cache miss after
-			// eviction — skip the solve's pivots entirely).
+			// eviction — skip the model rebuild and the solve's pivots
+			// entirely).
 			var cerr error
-			resp, cerr = ComputeSchedule(tctx, in, req.Strategy, req.IncludeSchedule, solver,
+			resp, cerr = ComputeSchedule(tctx, in, req.Strategy, req.IncludeSchedule, batch,
 				lp.Options{Method: s.opts.Solver, Pricing: s.opts.Pricing,
 					Basis: s.opts.Basis, WarmStart: true})
 			if cerr != nil {
-				// A numerical failure taints the solver even though the request
+				// A numerical failure taints the batch even though the request
 				// failed: whatever state drove the cascade to exhaustion must
-				// not seed the next request's warm start.
+				// not seed the next request's warm start or replay its
+				// recorded factorizations.
 				return numericFailure(cerr), cerr
 			}
-			// A solve the cascade had to downgrade succeeded, but the solver
+			// A solve the cascade had to downgrade succeeded, but the batch
 			// that produced the failure is suspect; discard it.
 			return resp.downgrades > 0, nil
 		})

@@ -8,7 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"pfcache/internal/lp"
+	"pfcache/internal/lpmodel"
 )
 
 // ErrShardBusy is returned by shardPool.run when the selected shard's queue
@@ -30,25 +30,27 @@ func (e *PanicError) Error() string {
 // shardTask is one queued unit of work.  ctx is the computation's context
 // (the flight context for coalesced schedule requests): a task whose context
 // is already dead when a worker picks it up is skipped without touching the
-// solver, so canceled requests release their shard in queue-drain time, not
-// solve time.  fn's first result is the taint verdict: true means the solver
+// batch, so canceled requests release their shard in queue-drain time, not
+// solve time.  fn's first result is the taint verdict: true means the batch
 // suffered a numerical failure during the task (even a recovered one) and
 // must be discarded.
 type shardTask struct {
 	ctx  context.Context
-	fn   func(ctx context.Context, solver *lp.Solver) (taint bool, err error)
+	fn   func(ctx context.Context, batch *lpmodel.ModelBatch) (taint bool, err error)
 	err  error
 	done chan struct{}
 }
 
 // shard is one worker of the service: a goroutine draining a bounded task
-// queue, owning a reusable lp.Solver and the scratch state of its
-// computations.  Requests for the same instance always hash to the same
-// shard, so a hot instance contends on one solver's buffers instead of
-// re-allocating tableaus across the process.
+// queue, owning a reusable lpmodel.ModelBatch — built models, solver arenas,
+// symbolic factorizations and per-pattern warm bases — as the scratch state
+// of its computations.  Requests for the same instance always hash to the
+// same shard, so a hot instance lands on the shard whose batch has already
+// built its model and analysed its basis pattern, instead of re-allocating
+// tableaus across the process.
 type shard struct {
-	tasks  chan *shardTask
-	solver *lp.Solver
+	tasks chan *shardTask
+	batch *lpmodel.ModelBatch
 }
 
 // shardPool is a fixed set of shards plus the goroutine lifecycle around
@@ -60,7 +62,7 @@ type shardPool struct {
 	shed    atomic.Uint64 // tasks rejected because a queue was full
 	panics  atomic.Uint64 // panics recovered from tasks
 	skipped atomic.Uint64 // tasks dropped because their context died in queue
-	resets  atomic.Uint64 // shard solvers discarded after a numerical failure
+	resets  atomic.Uint64 // shard batches discarded after a numerical failure
 }
 
 // newShardPool starts n shard goroutines (n <= 0 means one per CPU), each
@@ -77,8 +79,8 @@ func newShardPool(n, queueDepth int) *shardPool {
 	p := &shardPool{shards: make([]*shard, n)}
 	for i := range p.shards {
 		s := &shard{
-			tasks:  make(chan *shardTask, queueDepth),
-			solver: lp.NewSolver(),
+			tasks: make(chan *shardTask, queueDepth),
+			batch: lpmodel.NewModelBatch(),
 		}
 		p.shards[i] = s
 		p.wg.Add(1)
@@ -99,18 +101,19 @@ const defaultQueueDepth = 64
 
 // runTask executes one task on the worker goroutine, converting a panic in
 // the computation into an error for the caller so a poisoned instance kills
-// one request, not the shard.  A task that taints its solver — a numerical
+// one request, not the shard.  A task that taints its batch — a numerical
 // failure, even one the cascade recovered from, or a panic that may have
-// left solver state half-written — gets the solver discarded: the next
-// request on this shard starts from fresh buffers and no warm basis, at the
-// cost of re-allocating tableaus once.
+// left batch state half-written — gets the whole batch discarded: models,
+// warm bases and recorded symbolic factorizations alike, since any of them
+// may carry the damage.  The next request on this shard starts from fresh
+// buffers, at the cost of re-allocating and re-analysing once.
 func (p *shardPool) runTask(s *shard, t *shardTask) {
 	defer close(t.done)
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
 			t.err = &PanicError{Value: r}
-			p.discardSolver(s)
+			p.discardBatch(s)
 		}
 	}()
 	if err := t.ctx.Err(); err != nil {
@@ -118,17 +121,17 @@ func (p *shardPool) runTask(s *shard, t *shardTask) {
 		t.err = err
 		return
 	}
-	taint, err := t.fn(t.ctx, s.solver)
+	taint, err := t.fn(t.ctx, s.batch)
 	t.err = err
 	if taint {
-		p.discardSolver(s)
+		p.discardBatch(s)
 	}
 }
 
-// discardSolver replaces the shard's solver with a fresh one.  Only the
+// discardBatch replaces the shard's batch with a fresh one.  Only the
 // shard's own goroutine calls it, so no locking is needed.
-func (p *shardPool) discardSolver(s *shard) {
-	s.solver = lp.NewSolver()
+func (p *shardPool) discardBatch(s *shard) {
+	s.batch = lpmodel.NewModelBatch()
 	p.resets.Add(1)
 }
 
@@ -136,12 +139,12 @@ func (p *shardPool) discardSolver(s *shard) {
 func (p *shardPool) size() int { return len(p.shards) }
 
 // run executes fn on the shard selected by hash and waits for it to
-// complete or for ctx to end.  fn receives the shard's solver on the
+// complete or for ctx to end.  fn receives the shard's batch on the
 // shard's goroutine.  When the shard's queue is full the task is rejected
 // immediately with ErrShardBusy (load shedding); when ctx ends first, run
 // returns ctx's error while the queued task drains as a cheap no-op (the
-// worker re-checks ctx before touching the solver).
-func (p *shardPool) run(ctx context.Context, hash uint64, fn func(context.Context, *lp.Solver) (bool, error)) error {
+// worker re-checks ctx before touching the batch).
+func (p *shardPool) run(ctx context.Context, hash uint64, fn func(context.Context, *lpmodel.ModelBatch) (bool, error)) error {
 	s := p.shards[hash%uint64(len(p.shards))]
 	t := &shardTask{ctx: ctx, fn: fn, done: make(chan struct{})}
 	select {

@@ -66,6 +66,11 @@ func RunSweep(req *SweepRequest) (*SweepResponse, error) {
 		experiments.ResetBasis()
 	}
 	experiments.SetWorkers(req.Workers)
+	// Start each sweep from an empty batch pool: no built model, warm basis
+	// or recorded symbolic factorization carries over from earlier work, so
+	// the batch counters below are attributable to this sweep and a recorded
+	// single-worker sweep reproduces them exactly.
+	experiments.ResetBatches()
 
 	// The embedded counters are the sweep's own work: a before/after
 	// snapshot difference rather than a reset-then-read, so a live server's
@@ -116,6 +121,11 @@ func lpCountersDiff(after, before lp.Counters) lp.Counters {
 		EtaColumns:       after.EtaColumns - before.EtaColumns,
 		LUFills:          after.LUFills - before.LUFills,
 		WarmStarts:       after.WarmStarts - before.WarmStarts,
+		VerifiedSolves:   after.VerifiedSolves - before.VerifiedSolves,
+		VerifyFailures:   after.VerifyFailures - before.VerifyFailures,
+		CascadeFallbacks: after.CascadeFallbacks - before.CascadeFallbacks,
+		SymbolicReuses:   after.SymbolicReuses - before.SymbolicReuses,
+		NumericRefactors: after.NumericRefactors - before.NumericRefactors,
 	}
 }
 

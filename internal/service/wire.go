@@ -178,6 +178,8 @@ type LPCountersWire struct {
 	VerifiedSolves   uint64 `json:"verified_solves"`
 	VerifyFailures   uint64 `json:"verify_failures"`
 	CascadeFallbacks uint64 `json:"cascade_fallbacks"`
+	SymbolicReuses   uint64 `json:"symbolic_reuses"`
+	NumericRefactors uint64 `json:"numeric_refactors"`
 }
 
 // lpCountersWire converts an lp.Counters snapshot to its wire form.
@@ -193,6 +195,8 @@ func lpCountersWire(c lp.Counters) LPCountersWire {
 		VerifiedSolves:   c.VerifiedSolves,
 		VerifyFailures:   c.VerifyFailures,
 		CascadeFallbacks: c.CascadeFallbacks,
+		SymbolicReuses:   c.SymbolicReuses,
+		NumericRefactors: c.NumericRefactors,
 	}
 }
 

@@ -13,6 +13,14 @@
 #    MAX_ALLOCS bound applies.  The Verified variant runs the full cascade
 #    path (Options.Cascade plus certificate checking) to guarantee
 #    verification never adds per-solve allocations beyond that copy.
+#  * The batched LP paths must hold their amortization promises:
+#    BenchmarkBatchSolveE7Size (internal/lp) runs the twelve-solve E7 warm
+#    sweep through one lp.Batch, where steady state is two allocations per
+#    solve (the Solution and its X vector — everything else lives in batch
+#    arenas), so the op-level bound is 24; BenchmarkModelBatchBuild (root)
+#    rebuilds two E7-sized models per op through lpmodel.BuildInto, whose
+#    remaining allocations are the per-instance block index plus map/closure
+#    small change, bounded at 64 per op.
 #  * The exact-search engine (BenchmarkOptSearchAStar*) must keep its flat
 #    arena + open-addressing memory layer: its allocs/op on a fixed instance
 #    is a small constant (seed schedules, arena growth doublings), while a
@@ -25,15 +33,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MAX_ALLOCS="${MAX_ALLOCS:-8}"
 MAX_OPT_ALLOCS="${MAX_OPT_ALLOCS:-2000}"
-out=$(go test -run '^$' -bench 'BenchmarkLPSolve(Revised|Flat)$|BenchmarkOptSearchAStar' -benchmem -benchtime 1x .)
-lpout=$(go test -run '^$' -bench 'BenchmarkRevisedSolve(SteepestEdge|DantzigEta|Verified)?E7Size$' -benchmem -benchtime 1x ./internal/lp)
+MAX_BATCH_ALLOCS="${MAX_BATCH_ALLOCS:-24}"
+MAX_BATCH_BUILD_ALLOCS="${MAX_BATCH_BUILD_ALLOCS:-64}"
+out=$(go test -run '^$' -bench 'BenchmarkLPSolve(Revised|Flat)$|BenchmarkOptSearchAStar|BenchmarkModelBatchBuild$' -benchmem -benchtime 1x .)
+lpout=$(go test -run '^$' -bench 'BenchmarkRevisedSolve(SteepestEdge|DantzigEta|Verified)?E7Size$|BenchmarkBatchSolveE7Size$' -benchmem -benchtime 1x ./internal/lp)
 out=$(printf '%s\n%s' "$out" "$lpout")
 echo "$out"
-echo "$out" | awk -v max="$MAX_ALLOCS" -v optmax="$MAX_OPT_ALLOCS" '
+echo "$out" | awk -v max="$MAX_ALLOCS" -v optmax="$MAX_OPT_ALLOCS" \
+	-v batchmax="$MAX_BATCH_ALLOCS" -v batchbuildmax="$MAX_BATCH_BUILD_ALLOCS" '
 	/^BenchmarkLPSolve|^BenchmarkRevisedSolve/ {
 		allocs = $(NF-1)
 		if (allocs + 0 > max + 0) {
 			printf "FAIL: %s allocates %s allocs/op (max %s)\n", $1, allocs, max
+			bad = 1
+		}
+	}
+	/^BenchmarkBatchSolve/ {
+		allocs = $(NF-1)
+		if (allocs + 0 > batchmax + 0) {
+			printf "FAIL: %s allocates %s allocs/op (max %s)\n", $1, allocs, batchmax
+			bad = 1
+		}
+	}
+	/^BenchmarkModelBatchBuild/ {
+		allocs = $(NF-1)
+		if (allocs + 0 > batchbuildmax + 0) {
+			printf "FAIL: %s allocates %s allocs/op (max %s)\n", $1, allocs, batchbuildmax
 			bad = 1
 		}
 	}
@@ -45,6 +70,6 @@ echo "$out" | awk -v max="$MAX_ALLOCS" -v optmax="$MAX_OPT_ALLOCS" '
 		}
 	}
 	END {
-		if (!bad) printf "alloc guard OK (LP max %s, opt max %s allocs/op)\n", max, optmax
+		if (!bad) printf "alloc guard OK (LP max %s, batch max %s/%s, opt max %s allocs/op)\n", max, batchmax, batchbuildmax, optmax
 		exit bad
 	}'

@@ -3,9 +3,10 @@
 # experiment suite as machine-readable JSON, run sequentially (-workers 1)
 # and without wall times (-stable) so the tables are byte-reproducible, plus
 # a `timings` block of wall-clock ns/op figures for the solver and search
-# benchmarks (BenchmarkRevisedSolve*, BenchmarkOptSearch*) so the perf
-# trajectory is tracked alongside the counters.  Timings are informational:
-# cmd/benchdiff never compares them.
+# benchmarks (BenchmarkRevisedSolve*, BenchmarkBatchSolve*,
+# BenchmarkModelBatch*, BenchmarkOptSearch*) so the perf trajectory is
+# tracked alongside the counters.  Timings are informational: cmd/benchdiff
+# never compares them.
 #
 # Usage: scripts/bench.sh [output-file]
 #
@@ -25,6 +26,6 @@ fi
 bench=$(mktemp /tmp/bench-timings.XXXXXX)
 trap 'rm -f "$bench"' EXIT
 echo "running solver/search benchmarks for the timings block ..."
-go test -run '^$' -bench 'BenchmarkRevisedSolve|BenchmarkOptSearch' ./... > "$bench"
+go test -run '^$' -bench 'BenchmarkRevisedSolve|BenchmarkBatchSolve|BenchmarkModelBatch|BenchmarkOptSearch' ./... > "$bench"
 go run ./cmd/pcbench -json -stable -workers 1 -timings "$bench" > "$out"
 echo "wrote $out"
