@@ -15,6 +15,10 @@
 //	pcbench -solver flat    # solve the LPs with the flat-tableau simplex
 //	pcbench -pricing steepest-edge  # override the pinned entering-column rule
 //	pcbench -basis lu       # override the pinned basis representation
+//	pcbench -replay         # trace-replay benchmark: serve a growing trace
+//	                        # via incremental warm re-solves and via per-step
+//	                        # cold rebuilds, verify the served schedules are
+//	                        # byte-identical, report the per-step speedup
 //	pcbench -timings f      # embed ns/op figures parsed from a `go test
 //	                        # -bench` output file as the JSON timings block
 //	pcbench -cpuprofile f   # write a pprof CPU profile of the run to f
@@ -67,6 +71,7 @@ func run() int {
 	pricing := flag.String("pricing", "", "revised-simplex pricing rule: steepest-edge or dantzig (default: the suite's pinned dantzig)")
 	basis := flag.String("basis", "", "revised-simplex basis representation: lu or eta (default: the suite's pinned eta)")
 	batch := flag.Bool("batch", true, "route the LP-heavy experiment rows through batched solves (shared symbolic factorization, arena reuse); results are byte-identical either way")
+	replay := flag.Bool("replay", false, "run the trace-replay benchmark instead of the experiment sweep: incremental warm re-solves vs per-step cold rebuilds on a growing trace")
 	timings := flag.String("timings", "", "file holding `go test -bench` output whose ns/op figures are embedded in the -json timings block")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
@@ -95,6 +100,13 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
+	}
+	if *replay {
+		if *jsonOut || *serveURL != "" || *timings != "" {
+			fmt.Fprintln(os.Stderr, "-replay is a standalone benchmark; it cannot be combined with -json, -serve-url or -timings")
+			return 2
+		}
+		return runReplay(*solver, *pricing, *basis)
 	}
 	var benchTimings map[string]float64
 	if *timings != "" {
@@ -191,6 +203,52 @@ func run() int {
 		}
 	}
 	return code
+}
+
+// runReplay runs the trace-replay benchmark: the growing trace of
+// experiments.ReplayWorkload served once through the incremental path
+// (Model.Extend + warm dual re-solve) and once through per-step cold
+// rebuilds, both on the tie-broken program whose unique optimum forces the
+// two chains onto the same vertex.  The served schedules must be
+// byte-identical at every step — a correctness failure exits non-zero — and
+// the per-step wall times and pivot counts are reported; the committed
+// trajectory's wall-clock record of the same gap is the
+// BenchmarkReplayIncrementalStep / BenchmarkReplayColdStep pair in the
+// BENCH_*.json timings block.
+func runReplay(solver, pricing, basis string) int {
+	method, _ := lp.ParseMethod(solver)
+	experiments.SetSolverMethod(method)
+	if pricing != "" {
+		p, _ := lp.ParsePricing(pricing)
+		experiments.SetPricing(p)
+	} else {
+		experiments.ResetPricing()
+	}
+	if basis != "" {
+		b, _ := lp.ParseBasis(basis)
+		experiments.SetBasis(b)
+	} else {
+		experiments.ResetBasis()
+	}
+	base, steps := experiments.ReplayWorkload()
+	disks := base.Disks
+	rep, err := experiments.ReplayMeasure(base, steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("trace replay: base n=%d, %d single-request extensions, D=%d\n",
+		rep.BaseN, rep.Steps, disks)
+	fmt.Printf("  incremental (extend + warm dual re-solve): %10.3f ms/step, %6d pivots total\n",
+		rep.WarmNS/1e6, rep.WarmPivots)
+	fmt.Printf("  cold (rebuild + from-scratch solve):       %10.3f ms/step, %6d pivots total\n",
+		rep.ColdNS/1e6, rep.ColdPivots)
+	fmt.Printf("  speedup: %.1fx   schedules byte-identical: %v\n", rep.Speedup, rep.Identical)
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "FAIL: incremental and cold chains served different schedules")
+		return 1
+	}
+	return 0
 }
 
 // timingLine matches one `go test -bench` result line, capturing the

@@ -111,6 +111,20 @@ func NewIndex(seq Sequence) *Index {
 // Sequence returns the indexed sequence.
 func (ix *Index) Sequence() Sequence { return ix.seq }
 
+// Append extends the indexed sequence with one more request for block b,
+// keeping every occurrence list sorted (the new position is past every
+// existing one).  It is the incremental counterpart of NewIndex for the
+// trace-extension path: an index grown request by request answers every
+// query exactly as a fresh index over the extended sequence would.
+func (ix *Index) Append(b BlockID) {
+	pos := len(ix.seq)
+	ix.seq = append(ix.seq, b)
+	if _, ok := ix.occ[b]; !ok {
+		ix.blocks = append(ix.blocks, b)
+	}
+	ix.occ[b] = append(ix.occ[b], pos)
+}
+
 // Len returns the number of requests in the indexed sequence.
 func (ix *Index) Len() int { return len(ix.seq) }
 

@@ -46,6 +46,7 @@ func All() []Experiment {
 		{ID: "E8", Title: "Parallel heuristics vs number of disks", Run: E8ParallelHeuristics},
 		{ID: "A1", Title: "Ablation: synchronization and extra cache locations", Run: A1SynchronizationAblation},
 		{ID: "A2", Title: "Ablation: removing prefetching / the eviction rule", Run: A2EvictionAblation},
+		{ID: "R1", Title: "Trace replay: incremental re-solves vs per-step cold rebuilds", Run: R1TraceReplay},
 	}
 }
 

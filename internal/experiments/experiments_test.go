@@ -9,8 +9,8 @@ import (
 // TestRegistry checks the experiment registry.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(all))
+	if len(all) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(all))
 	}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {

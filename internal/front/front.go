@@ -86,6 +86,10 @@ type Options struct {
 	// to GET /v1/stats on the front.
 	StatsTimeout time.Duration
 
+	// SessionTranscripts bounds the session transcripts the front retains
+	// for transparent replay after a backend loses a session (0 = 1024).
+	SessionTranscripts int
+
 	// Client overrides the HTTP client used for backend traffic and health
 	// probes (nil = a client with sane timeouts).
 	Client *http.Client
@@ -103,16 +107,19 @@ type backend struct {
 
 // Front routes requests across the backends.  It implements http.Handler.
 type Front struct {
-	opts     Options
-	client   *http.Client
-	backends []*backend
-	ring     *ring
-	mux      *http.ServeMux
+	opts        Options
+	client      *http.Client
+	backends    []*backend
+	ring        *ring
+	mux         *http.ServeMux
+	transcripts *transcriptStore
 
-	requests atomic.Uint64 // schedule requests accepted
-	retries  atomic.Uint64 // extra attempts beyond each request's first
-	sweeps   atomic.Uint64 // fan-out sweeps served
-	rr       atomic.Uint64 // round-robin cursor for non-affine work
+	requests       atomic.Uint64 // schedule requests accepted
+	retries        atomic.Uint64 // extra attempts beyond each request's first
+	sweeps         atomic.Uint64 // fan-out sweeps served
+	rr             atomic.Uint64 // round-robin cursor for non-affine work
+	sessionCreates atomic.Uint64 // sessions opened through this front
+	sessionReplays atomic.Uint64 // sessions rebuilt on a backend by transcript replay
 }
 
 // New builds a front tier over the given backends and starts the health
@@ -150,7 +157,8 @@ func New(opts Options) (*Front, error) {
 		client = &http.Client{}
 	}
 
-	f := &Front{opts: opts, client: client, mux: http.NewServeMux()}
+	f := &Front{opts: opts, client: client, mux: http.NewServeMux(),
+		transcripts: newTranscriptStore(opts.SessionTranscripts)}
 	names := make([]string, len(opts.Backends))
 	for i, raw := range opts.Backends {
 		name := strings.TrimRight(strings.TrimSpace(raw), "/")
@@ -170,6 +178,9 @@ func New(opts Options) (*Front, error) {
 	f.ring = newRing(names, opts.Replicas)
 
 	f.mux.HandleFunc("POST /v1/schedule", f.handleSchedule)
+	f.mux.HandleFunc("POST /v1/session", f.handleSessionCreate)
+	f.mux.HandleFunc("POST /v1/session/{id}/extend", f.handleSessionExtend)
+	f.mux.HandleFunc("DELETE /v1/session/{id}", f.handleSessionClose)
 	f.mux.HandleFunc("POST /v1/sweep", f.handleSweep)
 	f.mux.HandleFunc("GET /v1/stats", f.handleStats)
 	f.mux.HandleFunc("GET /healthz", f.handleHealth)

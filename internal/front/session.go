@@ -1,0 +1,360 @@
+package front
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"pfcache/internal/service"
+)
+
+// This file is the front tier's session support.  Sessions are sticky: every
+// operation for a session ID walks the ring from hashString(id), so one
+// backend holds the session's warm LP model and solver.  The front records
+// each session's transcript — the create body plus every accepted extend body
+// — and when a backend answers 404 for a session the front knows (the backend
+// was restarted, or the session was evicted or expired there), the front
+// replays the transcript against a live backend and then applies the current
+// extension, so clients never observe the loss: the replay rebuilds the
+// session from a cold solve of the same full trace, which serves a plan of
+// the same certified cost.
+
+// defaultSessionTranscripts bounds the transcripts the front retains when
+// Options.SessionTranscripts is zero.
+const defaultSessionTranscripts = 1024
+
+// transcript is one session's replayable history plus its current home — the
+// backend that last served it, tried first so a replayed session keeps
+// hitting its new warm home instead of bouncing off its dead ring owner.
+type transcript struct {
+	create  []byte
+	extends [][]byte
+	home    string
+}
+
+// transcriptEntry is one LRU node of the transcript store.
+type transcriptEntry struct {
+	id string
+	tr *transcript
+}
+
+// transcriptStore is the bounded LRU registry of session transcripts.
+type transcriptStore struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+func newTranscriptStore(max int) *transcriptStore {
+	if max <= 0 {
+		max = defaultSessionTranscripts
+	}
+	return &transcriptStore{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// put registers a fresh transcript for id, evicting the least-recently-used
+// entries beyond the bound.
+func (st *transcriptStore) put(id string, tr *transcript) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.entries[id]; ok {
+		el.Value.(*transcriptEntry).tr = tr
+		st.order.MoveToFront(el)
+		return
+	}
+	for st.order.Len() >= st.max {
+		oldest := st.order.Back()
+		st.order.Remove(oldest)
+		delete(st.entries, oldest.Value.(*transcriptEntry).id)
+	}
+	st.entries[id] = st.order.PushFront(&transcriptEntry{id: id, tr: tr})
+}
+
+// snapshot returns a stable copy of id's transcript for replay: the create
+// body, the extends recorded so far, and the home backend.
+func (st *transcriptStore) snapshot(id string) (*transcript, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[id]
+	if !ok {
+		return nil, false
+	}
+	tr := el.Value.(*transcriptEntry).tr
+	st.order.MoveToFront(el)
+	cp := &transcript{create: tr.create, home: tr.home,
+		extends: append([][]byte(nil), tr.extends...)}
+	return cp, true
+}
+
+// appendExtend records an accepted extension and the backend that served it.
+func (st *transcriptStore) appendExtend(id string, body []byte, home string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[id]
+	if !ok {
+		return
+	}
+	tr := el.Value.(*transcriptEntry).tr
+	tr.extends = append(tr.extends, body)
+	tr.home = home
+	st.order.MoveToFront(el)
+}
+
+// setHome records the backend that last served the session.
+func (st *transcriptStore) setHome(id, home string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.entries[id]; ok {
+		el.Value.(*transcriptEntry).tr.home = home
+	}
+}
+
+// remove drops id's transcript, reporting whether it was held.
+func (st *transcriptStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[id]
+	if !ok {
+		return false
+	}
+	st.order.Remove(el)
+	delete(st.entries, id)
+	return true
+}
+
+// len returns the number of tracked transcripts.
+func (st *transcriptStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.order.Len()
+}
+
+// newFrontSessionID draws a random 128-bit hex session identifier for create
+// requests that did not pin their own.
+func newFrontSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("front: generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// sessionCandidates returns the backend indices to try for a session: the
+// session's home backend first (when known and distinct from the ring owner),
+// then the ring walk from the session ID's hash.
+func (f *Front) sessionCandidates(id, home string) []int {
+	order := f.ring.order(hashString(id))
+	if home == "" {
+		return order
+	}
+	hi := f.backendIndex(home)
+	if hi < 0 || (len(order) > 0 && order[0] == hi) {
+		return order
+	}
+	out := make([]int, 0, len(order)+1)
+	out = append(out, hi)
+	for _, idx := range order {
+		if idx != hi {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// backendIndex resolves a backend name to its index, -1 when unknown.
+func (f *Front) backendIndex(name string) int {
+	for i, b := range f.backends {
+		if b.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *Front) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("front: request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("front: reading request body: %w", err))
+		return
+	}
+	// Validate at the edge, like /v1/schedule: bad requests never consume a
+	// backend attempt.
+	var req service.SessionCreateRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("front: bad request body: %w", err))
+		return
+	}
+	if req.Strategy != "" && req.Strategy != "lp-optimal" {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("front: sessions serve the lp-optimal strategy, not %q", req.Strategy))
+		return
+	}
+	if _, err := req.BuildInstance(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The session ID decides the route, so the front pins one before
+	// forwarding when the client did not: every later operation (and any
+	// replay) names the same session on the same ring walk.
+	if req.Session == "" {
+		id, err := newFrontSessionID()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		req.Session = id
+		if raw, err = json.Marshal(&req); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), f.opts.RequestTimeout)
+	defer cancel()
+	resp, _, err := f.forward(ctx, f.ring.order(hashString(req.Session)), "POST", "/v1/session", raw)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	if resp.status == http.StatusOK {
+		f.transcripts.put(req.Session, &transcript{create: raw, home: resp.backend})
+		f.sessionCreates.Add(1)
+	}
+	writeBuffered(w, resp)
+}
+
+func (f *Front) handleSessionExtend(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("front: reading request body: %w", err))
+		return
+	}
+	path := "/v1/session/" + id + "/extend"
+	tr, tracked := f.transcripts.snapshot(id)
+	home := ""
+	if tracked {
+		home = tr.home
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), f.opts.RequestTimeout)
+	defer cancel()
+	resp, _, err := f.forward(ctx, f.sessionCandidates(id, home), "POST", path, raw)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	if resp.status == http.StatusNotFound && tracked {
+		// The live backend that answered does not hold the session: it was
+		// lost to an eviction, an expiry or a backend restart.  Replay the
+		// transcript there (or on the next live backend) and apply the current
+		// extension — the client sees only the successful result.
+		resp, err = f.replaySession(ctx, id, tr, resp.backend, raw)
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		w.Header().Set("X-Front-Replayed", "1")
+	}
+	if resp.status == http.StatusOK {
+		f.transcripts.appendExtend(id, raw, resp.backend)
+	}
+	writeBuffered(w, resp)
+}
+
+// replaySession rebuilds the session from its transcript on a live backend —
+// starting with the one that just answered 404, then the rest of the session's
+// ring walk — and applies the pending extension.  Any 5xx or transport error
+// moves to the next backend; a deterministic client error (4xx) aborts the
+// replay, since every backend would refuse the same transcript the same way.
+func (f *Front) replaySession(ctx context.Context, id string, tr *transcript, first string, extend []byte) (*bufferedResponse, error) {
+	order := f.sessionCandidates(id, first)
+	path := "/v1/session/" + id + "/extend"
+	var lastErr error
+candidates:
+	for _, idx := range order {
+		b := f.backends[idx]
+		replay := append([][]byte{tr.create}, tr.extends...)
+		for si, body := range replay {
+			p := path
+			if si == 0 {
+				p = "/v1/session"
+			}
+			resp, aerr := f.attempt(ctx, b, "POST", p, body)
+			if aerr != nil || resp.status >= 500 {
+				b.failures.Add(1)
+				b.br.onFailure()
+				if aerr == nil {
+					aerr = fmt.Errorf("front: %s answered %d during session replay: %s",
+						b.name, resp.status, strings.TrimSpace(string(resp.body)))
+				}
+				lastErr = aerr
+				continue candidates
+			}
+			if resp.status != http.StatusOK {
+				return nil, fmt.Errorf("front: session replay step %d refused with %d: %s",
+					si, resp.status, strings.TrimSpace(string(resp.body)))
+			}
+		}
+		resp, aerr := f.attempt(ctx, b, "POST", path, extend)
+		if aerr != nil || resp.status >= 500 {
+			b.failures.Add(1)
+			b.br.onFailure()
+			if aerr == nil {
+				aerr = fmt.Errorf("front: %s answered %d during session replay: %s",
+					b.name, resp.status, strings.TrimSpace(string(resp.body)))
+			}
+			lastErr = aerr
+			continue
+		}
+		b.br.onSuccess()
+		f.sessionReplays.Add(1)
+		f.transcripts.setHome(id, b.name)
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("front: no backends available")
+	}
+	return nil, fmt.Errorf("front: session replay failed on every backend: %w", lastErr)
+}
+
+func (f *Front) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, tracked := f.transcripts.snapshot(id)
+	f.transcripts.remove(id)
+	home := ""
+	if tracked {
+		home = tr.home
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), f.opts.RequestTimeout)
+	defer cancel()
+	resp, _, err := f.forward(ctx, f.sessionCandidates(id, home), "DELETE", "/v1/session/"+id, nil)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeBuffered(w, resp)
+}

@@ -35,6 +35,13 @@ type StatsResponse struct {
 	Requests uint64 `json:"requests"`
 	Retries  uint64 `json:"retries"`
 	Sweeps   uint64 `json:"sweeps"`
+	// SessionsTracked is the number of session transcripts the front holds;
+	// SessionCreates counts sessions opened through this front; and
+	// SessionReplays counts sessions transparently rebuilt on a backend from
+	// their transcript after the original backend lost them.
+	SessionsTracked int    `json:"sessions_tracked"`
+	SessionCreates  uint64 `json:"session_creates"`
+	SessionReplays  uint64 `json:"session_replays"`
 }
 
 // Stats snapshots the front counters and, best-effort, each healthy
@@ -42,10 +49,13 @@ type StatsResponse struct {
 // backend cannot stall the aggregate).
 func (f *Front) Stats(ctx context.Context) StatsResponse {
 	resp := StatsResponse{
-		Backends: make([]BackendStatus, len(f.backends)),
-		Requests: f.requests.Load(),
-		Retries:  f.retries.Load(),
-		Sweeps:   f.sweeps.Load(),
+		Backends:        make([]BackendStatus, len(f.backends)),
+		Requests:        f.requests.Load(),
+		Retries:         f.retries.Load(),
+		Sweeps:          f.sweeps.Load(),
+		SessionsTracked: f.transcripts.len(),
+		SessionCreates:  f.sessionCreates.Load(),
+		SessionReplays:  f.sessionReplays.Load(),
 	}
 	var wg sync.WaitGroup
 	for i, b := range f.backends {

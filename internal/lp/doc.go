@@ -75,6 +75,42 @@
 // same instance) and the service shards rely on, and what makes warm-started
 // sweeps solve in half the pivots of cold ones.
 //
+// # Dual re-optimization and Forrest–Tomlin updates
+//
+// Warm starts as described above require the donor basis to be primal
+// feasible on the target problem, which a grown problem never satisfies.
+// Options.Dual (dual.go) covers exactly that shape: when a problem is
+// extended in place by appended rows and columns (Problem.AddVariable,
+// AddConstraint, ExtendConstraint on old rows gaining only new columns), the
+// old optimal basis B extends to B' = [[B, 0], [C, S]] with the new rows'
+// crash slack/artificial columns in S.  B' keeps every old column's reduced
+// cost — the transplant is dual feasible by construction — while the
+// appended rows may violate primal feasibility.  Solver.SolveDualFrom
+// transplants the snapshot (installBasisDual accepts donor artificials and
+// skips the primal-feasibility gate installBasis enforces), runs dual
+// simplex pivots that drive out the worst primal violation per pivot while
+// keeping reduced costs non-negative, and finishes with an ordinary primal
+// phase that prices in the appended columns — the only ones that can carry
+// negative reduced costs.  A stalled dual phase (dualStallWindow pivots
+// without violation progress), an exhausted budget or any non-optimal exit
+// abandons the transplant for the cold two-phase primal start, so Dual is
+// always safe to request; under Options.Cascade the result additionally
+// passes the independent certificate like any other solve.
+//
+// The dual phase's pivots are cheapest under Options.Update == UpdateFT
+// (ft.go), the true Forrest–Tomlin update: instead of freezing the LU
+// factors and appending product-form etas (UpdateEta, the default), each
+// pivot rewrites the U factor itself — the entering spike replaces the
+// leaving column, the row spike left by the cyclic position shift is
+// eliminated with multiples of the rows below it and recorded as one row
+// eta applied between L and U.  U stays triangular across pivots, so the
+// update file does not accumulate the fill that product-form etas do on
+// long re-optimization runs; a spike diagonal too small to trust rejects
+// the update and refactorizes instead, absorbing the pivot exactly.
+// Solution and StatsSnapshot count DualPivots and FTUpdates alongside the
+// primal counters, so pcbench's trajectory files record how much of a
+// sweep's work the incremental path saved.
+//
 // The PR-1 flat-tableau implementation survives behind MethodFlat — one
 // contiguous row-major []float64 with the artificial columns as a trailing
 // index range — as the middle rung of the property-test lattice (revised vs

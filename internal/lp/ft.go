@@ -1,0 +1,280 @@
+package lp
+
+import "math"
+
+// This file is the true Forrest–Tomlin basis update (Options.Update ==
+// UpdateFT): instead of freezing the LU factors and appending product-form
+// etas (UpdateEta, the default), each pivot rewrites the U factor itself.
+//
+// Replacing the basis column pivoted by row r with the entering column turns
+// U into a spiked matrix: column t = pos(r) becomes the partially FTRAN'd
+// entering column w = R L^-1 a_enter (the spike), and removing column t while
+// cyclically shifting positions t+1.. left and moving row r to the last
+// position leaves U upper triangular except for the row spike — row r's
+// frozen entries in the shifted columns.  Forrest–Tomlin eliminates that row
+// spike with multiples of the rows below it, which is recorded as one row
+// eta (rowEtaFile) applied between L and U in FTRAN, and replaces column t
+// by the spike with its new diagonal d = w_r - sum(m_q * w_{r_q}).
+//
+// Representation: updated columns are appended as fresh slots; the replaced
+// slot is marked dead and skipped (its row was eliminated, so entries in
+// other columns referencing it are logically zero).  ftOrder keeps the
+// triangular position permutation, always exactly rows long.  The
+// composition solved against is
+//
+//	B = L * M_1^-1 * ... * M_k^-1 * U_k
+//
+// so FTRAN applies L^-1, the row etas oldest first, then U_k^-1 in position
+// order, and BTRAN the exact transposes in reverse.  A spike diagonal below
+// luSingular rejects the update and the caller refactorizes instead — the
+// basis arrays already carry the new column, so the fresh factorization
+// absorbs the pivot exactly.
+
+// rowEtaFile stores the row etas of the Forrest–Tomlin eliminations: per
+// eta the spiked row r and the (physical row, multiplier) pairs of the rows
+// subtracted from it.
+type rowEtaFile struct {
+	pivRow []int32
+	start  []int32 // len(pivRow)+1 offsets into idx/val
+	idx    []int32 // physical rows of the multipliers
+	val    []float64
+}
+
+// reset empties the file (keeping capacity).
+func (e *rowEtaFile) reset() {
+	e.pivRow = e.pivRow[:0]
+	if cap(e.start) == 0 {
+		e.start = append(e.start, 0)
+	}
+	e.start = e.start[:1]
+	e.start[0] = 0
+	e.idx = e.idx[:0]
+	e.val = e.val[:0]
+}
+
+// apply multiplies v by the row etas oldest first: v_r -= m · v.
+func (e *rowEtaFile) apply(v []float64) {
+	for k := range e.pivRow {
+		t := v[e.pivRow[k]]
+		for s := e.start[k]; s < e.start[k+1]; s++ {
+			t -= e.val[s] * v[e.idx[s]]
+		}
+		v[e.pivRow[k]] = t
+	}
+}
+
+// applyT multiplies v by the transposed row etas newest first:
+// v_{r_q} -= m_q · v_r.
+func (e *rowEtaFile) applyT(v []float64) {
+	for k := len(e.pivRow) - 1; k >= 0; k-- {
+		t := v[e.pivRow[k]]
+		if t == 0 {
+			continue
+		}
+		for s := e.start[k]; s < e.start[k+1]; s++ {
+			v[e.idx[s]] -= e.val[s] * t
+		}
+	}
+}
+
+// ftInit arms the update state over a fresh factorization: every slot is
+// live, position == elimination order, and the row-eta file is empty.
+func (lu *luFactor) ftInit(allocs *int) {
+	m := len(lu.pivRow)
+	lu.ftOrder = grabInt32s(lu.ftOrder, m, allocs)
+	lu.ftPos = grabInt32s(lu.ftPos, m, allocs)
+	lu.rowSlot = grabInt32s(lu.rowSlot, lu.rows, allocs)
+	lu.slotDead = grabBools(lu.slotDead, m, allocs)
+	lu.ftMult = grabFloats(lu.ftMult, m, allocs)
+	lu.ftMark = grabInt32s(lu.ftMark, m, allocs)
+	clear(lu.ftMark)
+	lu.ftGen = 0
+	if cap(lu.ftTouch) < m {
+		*allocs++
+		lu.ftTouch = make([]int32, 0, m)
+	}
+	lu.ftTouch = lu.ftTouch[:0]
+	for k := 0; k < m; k++ {
+		lu.ftOrder[k] = int32(k)
+		lu.ftPos[k] = int32(k)
+		lu.rowSlot[lu.pivRow[k]] = int32(k)
+		lu.slotDead[k] = false
+	}
+	lu.rEta.reset()
+	lu.ftActive = true
+}
+
+// ftUpdate absorbs the pivot (leaving row leave, entering column enter) into
+// the factors and reports whether the update was numerically acceptable;
+// false means the caller must refactorize (the basis arrays already name the
+// new column).  One partial FTRAN builds the spike, one pass over the
+// trailing positions solves for the row-spike multipliers using only the
+// column-wise U storage, and the commit appends a row eta plus the spike
+// column while the replaced slot dies in place.
+func (lu *luFactor) ftUpdate(r *revisedSolver, leave, enter int, allocs *int) bool {
+	// Spike w = R L^-1 a_enter: the entering column pushed through L and the
+	// accumulated row etas, but not U.
+	w := r.work
+	clear(w)
+	r.scatterCol(enter, w)
+	nL := len(lu.lStart) - 1
+	for k := 0; k < nL; k++ {
+		t := w[lu.pivRow[k]]
+		if t == 0 {
+			continue
+		}
+		for s := lu.lStart[k]; s < lu.lStart[k+1]; s++ {
+			w[lu.lIdx[s]] -= lu.lVal[s] * t
+		}
+	}
+	lu.rEta.apply(w)
+
+	sOld := lu.rowSlot[leave]
+	t := int(lu.ftPos[sOld])
+	last := len(lu.ftOrder) - 1
+
+	// Row-spike multipliers by forward substitution over the trailing
+	// positions: at position p the remaining row-leave entry is the frozen
+	// entry u0 (referencing sOld) minus the already-committed multipliers'
+	// contributions through this column.
+	lu.ftGen++
+	touch := lu.ftTouch[:0]
+	dNew := w[leave]
+	for p := t + 1; p <= last; p++ {
+		s := lu.ftOrder[p]
+		u0, sum := 0.0, 0.0
+		for e := lu.uStart[s]; e < lu.uStart[s+1]; e++ {
+			ref := lu.uIdx[e]
+			if ref == sOld {
+				u0 = lu.uVal[e]
+				continue
+			}
+			if lu.ftMark[ref] == lu.ftGen {
+				sum += lu.ftMult[ref] * lu.uVal[e]
+			}
+		}
+		if u0 == 0 && sum == 0 {
+			continue
+		}
+		mq := (u0 - sum) * lu.uDiagInv[s]
+		if mq == 0 {
+			continue
+		}
+		lu.ftMult[s] = mq
+		lu.ftMark[s] = lu.ftGen
+		touch = append(touch, s)
+		dNew -= mq * w[lu.pivRow[s]]
+	}
+	lu.ftTouch = touch
+	if math.Abs(dNew) <= luSingular {
+		return false
+	}
+
+	// Commit: one row eta, the dead slot, the spike as the new last column.
+	if len(touch) > 0 {
+		re := &lu.rEta
+		if len(re.pivRow) == cap(re.pivRow) {
+			*allocs++
+		}
+		re.pivRow = append(re.pivRow, int32(leave))
+		for _, s := range touch {
+			if len(re.idx) == cap(re.idx) {
+				*allocs++
+			}
+			re.idx = append(re.idx, lu.pivRow[s])
+			re.val = append(re.val, lu.ftMult[s])
+		}
+		re.start = append(re.start, int32(len(re.idx)))
+	}
+	lu.slotDead[sOld] = true
+	sn := int32(len(lu.pivRow))
+	if len(lu.pivRow) == cap(lu.pivRow) {
+		*allocs++
+	}
+	lu.pivRow = append(lu.pivRow, int32(leave))
+	lu.pivSlot = append(lu.pivSlot, -1) // never read: only factorize-time slots map basis positions
+	lu.uDiagInv = append(lu.uDiagInv, 1/dNew)
+	for i, v := range w {
+		if i == leave || (v < luDrop && v > -luDrop) {
+			continue
+		}
+		if len(lu.uIdx) == cap(lu.uIdx) {
+			*allocs++
+		}
+		lu.uIdx = append(lu.uIdx, lu.rowSlot[i])
+		lu.uVal = append(lu.uVal, v)
+	}
+	lu.uStart = append(lu.uStart, int32(len(lu.uIdx)))
+	copy(lu.ftOrder[t:], lu.ftOrder[t+1:])
+	lu.ftOrder[last] = sn
+	lu.ftPos = append(lu.ftPos, int32(last))
+	for p := t; p < last; p++ {
+		lu.ftPos[lu.ftOrder[p]] = int32(p)
+	}
+	lu.rowSlot[leave] = sn
+	lu.slotDead = append(lu.slotDead, false)
+	lu.ftMult = append(lu.ftMult, 0)
+	lu.ftMark = append(lu.ftMark, 0)
+	return true
+}
+
+// ftranFT applies the updated basis inverse to v in place:
+// v <- U^-1 M_k...M_1 L^-1 v.
+func (lu *luFactor) ftranFT(v []float64) {
+	nL := len(lu.lStart) - 1
+	for k := 0; k < nL; k++ {
+		t := v[lu.pivRow[k]]
+		if t == 0 {
+			continue
+		}
+		for s := lu.lStart[k]; s < lu.lStart[k+1]; s++ {
+			v[lu.lIdx[s]] -= lu.lVal[s] * t
+		}
+	}
+	lu.rEta.apply(v)
+	for p := len(lu.ftOrder) - 1; p >= 0; p-- {
+		s := lu.ftOrder[p]
+		rr := lu.pivRow[s]
+		t := v[rr]
+		if t == 0 {
+			continue
+		}
+		t *= lu.uDiagInv[s]
+		v[rr] = t
+		for e := lu.uStart[s]; e < lu.uStart[s+1]; e++ {
+			ref := lu.uIdx[e]
+			if lu.slotDead[ref] {
+				continue
+			}
+			v[lu.pivRow[ref]] -= lu.uVal[e] * t
+		}
+	}
+}
+
+// btranFT applies the transposed updated inverse to v in place:
+// v <- L^-T M_1^T...M_k^T U^-T v.
+func (lu *luFactor) btranFT(v []float64) {
+	for p := 0; p < len(lu.ftOrder); p++ {
+		s := lu.ftOrder[p]
+		rr := lu.pivRow[s]
+		t := v[rr]
+		for e := lu.uStart[s]; e < lu.uStart[s+1]; e++ {
+			ref := lu.uIdx[e]
+			if lu.slotDead[ref] {
+				continue
+			}
+			t -= lu.uVal[e] * v[lu.pivRow[ref]]
+		}
+		v[rr] = t * lu.uDiagInv[s]
+	}
+	lu.rEta.applyT(v)
+	nL := len(lu.lStart) - 1
+	for k := nL - 1; k >= 0; k-- {
+		rr := lu.pivRow[k]
+		t := v[rr]
+		for s := lu.lStart[k]; s < lu.lStart[k+1]; s++ {
+			t -= lu.lVal[s] * v[lu.lIdx[s]]
+		}
+		v[rr] = t
+	}
+}

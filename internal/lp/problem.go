@@ -190,6 +190,50 @@ func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
 	return len(p.cons) - 1
 }
 
+// ExtendConstraint appends coefficients to the existing constraint i,
+// keeping its sense and RHS — the shape of a trace extension, where old rows
+// gain entries only in freshly added columns.  The row is rewritten at the
+// arena tail (rows are full-capacity sub-slices of the shared arena, so
+// growing one in place would clobber its neighbour); the abandoned arena
+// region is reclaimed by the next Reset.  Duplicate-variable merging follows
+// AddConstraint: coefficients naming a variable the row already has are
+// summed into it, and zero results are dropped.
+func (p *Problem) ExtendConstraint(i int, coeffs []Coef) {
+	for len(p.stamp) < p.numVars {
+		p.stamp = append(p.stamp, 0)
+		p.slot = append(p.slot, 0)
+	}
+	c := &p.cons[i]
+	p.epoch++
+	start := len(p.arena)
+	for _, old := range c.Coeffs {
+		p.stamp[old.Var] = p.epoch
+		p.slot[old.Var] = int32(len(p.arena) - start)
+		p.arena = append(p.arena, old)
+	}
+	for _, co := range coeffs {
+		p.checkVar(co.Var)
+		if p.stamp[co.Var] == p.epoch {
+			p.arena[start+int(p.slot[co.Var])].Value += co.Value
+			continue
+		}
+		p.stamp[co.Var] = p.epoch
+		p.slot[co.Var] = int32(len(p.arena) - start)
+		p.arena = append(p.arena, co)
+	}
+	w := start
+	for s := start; s < len(p.arena); s++ {
+		if p.arena[s].Value != 0 {
+			p.arena[w] = p.arena[s]
+			w++
+		}
+	}
+	p.arena = p.arena[:w]
+	p.nnz += (w - start) - len(c.Coeffs)
+	c.Coeffs = p.arena[start:w:w]
+	p.version++
+}
+
 // csc returns the cached compressed sparse column form of the constraint
 // matrix, rebuilding it when constraints or variables were added since the
 // last build.  Safe for concurrent solves of a fixed problem; mutating a

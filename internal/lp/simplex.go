@@ -118,6 +118,51 @@ func ParseBasis(name string) (BasisMethod, error) {
 	}
 }
 
+// UpdateMethod selects how the BasisLU representation absorbs a pivot
+// between refactorizations.
+type UpdateMethod int
+
+// Basis update methods.
+const (
+	// UpdateEta (the default) appends the FTRAN'd entering column as a
+	// product-form eta in U-space — the untriangularised Forrest–Tomlin
+	// variant: the LU factors stay frozen and the eta file grows by one
+	// column per pivot until the next refactorization.
+	UpdateEta UpdateMethod = iota
+	// UpdateFT is the true Forrest–Tomlin row-spike update: each pivot
+	// replaces one column of U by the (partially FTRAN'd) entering column,
+	// eliminates the resulting row spike into a row-eta file, and cyclically
+	// permutes U back to triangular form.  The U factor itself evolves, so
+	// FTRAN/BTRAN keep solving against genuinely triangular data instead of
+	// an ever-growing product file.  Ignored by BasisEta and MethodFlat.
+	UpdateFT
+)
+
+// String names the update method.
+func (u UpdateMethod) String() string {
+	switch u {
+	case UpdateEta:
+		return "eta"
+	case UpdateFT:
+		return "ft"
+	default:
+		return fmt.Sprintf("update(%d)", int(u))
+	}
+}
+
+// ParseUpdate resolves an update-method name ("eta" or "ft") as used by
+// command line flags.
+func ParseUpdate(name string) (UpdateMethod, error) {
+	switch name {
+	case "eta":
+		return UpdateEta, nil
+	case "ft":
+		return UpdateFT, nil
+	default:
+		return 0, fmt.Errorf("lp: unknown basis update method %q (want eta or ft)", name)
+	}
+}
+
 // Options tunes the solver.
 type Options struct {
 	// MaxIterations caps the total number of simplex pivots (0 means an
@@ -148,6 +193,19 @@ type Options struct {
 	// CaptureBasis asks an optimal revised solve to snapshot its final basis
 	// into Solution.Basis, for replay through Solver.SolveFrom.
 	CaptureBasis bool
+	// Dual widens the warm-start acceptance of the revised method: a basis
+	// snapshot that no longer matches the problem's exact shape — because
+	// rows and columns were appended (Problem/Model extension) or the RHS
+	// moved — is transplanted anyway when the old rows form a prefix of the
+	// new ones, and a dual simplex phase re-optimizes from it before the
+	// ordinary primal clean-up runs.  Any basis the dual phase cannot certify
+	// falls back to the cold primal start, so (like WarmStart) Dual is always
+	// safe to request.  Ignored by MethodFlat.
+	Dual bool
+	// Update selects how the BasisLU representation absorbs pivots between
+	// refactorizations; the zero value is UpdateEta.  Ignored by BasisEta and
+	// MethodFlat.
+	Update UpdateMethod
 	// Cascade opts the revised method into the self-healing solve ladder:
 	// every Optimal result is checked against the independent certificate
 	// (Verify), and a verification failure, singular refactorization or
@@ -205,6 +263,12 @@ type Solution struct {
 	// WarmStarted reports that the solve skipped phase one by starting from
 	// a transferred prior basis (see Options.WarmStart, Solver.SolveFrom).
 	WarmStarted bool
+	// DualIterations is the number of dual simplex pivots performed
+	// (Options.Dual only; included in Iterations).
+	DualIterations int
+	// FTUpdates is the number of Forrest–Tomlin row-spike updates absorbed
+	// into the U factor (Options.Update == UpdateFT only).
+	FTUpdates int
 	// Basis is the optimal basis snapshot requested by Options.CaptureBasis
 	// (nil otherwise or when the solve did not end optimal).
 	Basis *WarmBasis
@@ -294,6 +358,17 @@ func (s *Solver) SolveFrom(p *Problem, opts Options, from *WarmBasis) (*Solution
 		from = &s.rev.lastWarm
 	}
 	return s.solve(p, opts, from)
+}
+
+// SolveDualFrom is SolveFrom with Options.Dual forced: the snapshot is
+// transplanted even when it is out of shape for this problem (rows/columns
+// appended) or primal infeasible (RHS perturbed), as long as the old rows
+// form a prefix of the new ones, and a dual simplex phase re-optimizes from
+// it.  A basis the dual phase cannot certify falls back to the ordinary cold
+// start, so the call is always safe.
+func (s *Solver) SolveDualFrom(p *Problem, opts Options, from *WarmBasis) (*Solution, error) {
+	opts.Dual = true
+	return s.SolveFrom(p, opts, from)
 }
 
 func (s *Solver) solve(p *Problem, opts Options, warm *WarmBasis) (*Solution, error) {

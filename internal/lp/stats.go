@@ -41,12 +41,19 @@ type Counters struct {
 	// cascade (verification failures, singular refactorizations and
 	// exhausted pivot budgets all count).
 	CascadeFallbacks uint64
+	// DualPivots is the total number of dual simplex pivots performed by
+	// warm re-solves (Options.Dual).
+	DualPivots uint64
+	// FTUpdates is the total number of Forrest–Tomlin row-spike updates
+	// absorbed into U factors (Options.Update == UpdateFT).
+	FTUpdates uint64
 }
 
 var stats struct {
 	solves, iters, passes, refactors, etas, luFills, warmStarts atomic.Uint64
 	symReuses, numRefactors                                     atomic.Uint64
 	verified, verifyFails, cascadeFalls                         atomic.Uint64
+	dualPivots, ftUpdates                                       atomic.Uint64
 }
 
 // recordSolve folds one finished solve into the package counters; callers
@@ -60,6 +67,8 @@ func recordSolve(sol *Solution) {
 	stats.luFills.Add(uint64(sol.LUFills))
 	stats.symReuses.Add(uint64(sol.SymbolicReuses))
 	stats.numRefactors.Add(uint64(sol.NumericRefactors))
+	stats.dualPivots.Add(uint64(sol.DualIterations))
+	stats.ftUpdates.Add(uint64(sol.FTUpdates))
 	if sol.WarmStarted {
 		stats.warmStarts.Add(1)
 	}
@@ -80,6 +89,8 @@ func StatsSnapshot() Counters {
 		VerifiedSolves:   stats.verified.Load(),
 		VerifyFailures:   stats.verifyFails.Load(),
 		CascadeFallbacks: stats.cascadeFalls.Load(),
+		DualPivots:       stats.dualPivots.Load(),
+		FTUpdates:        stats.ftUpdates.Load(),
 	}
 }
 
@@ -97,4 +108,6 @@ func StatsReset() {
 	stats.verified.Store(0)
 	stats.verifyFails.Store(0)
 	stats.cascadeFalls.Store(0)
+	stats.dualPivots.Store(0)
+	stats.ftUpdates.Store(0)
 }

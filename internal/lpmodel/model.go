@@ -75,6 +75,19 @@ type Model struct {
 
 	gapBuf []int // scratch for gapIntervals
 
+	// Trace-extension bookkeeping (see extend.go).  Build records, per block
+	// position, the 1-based request number of the block's last reference
+	// (0 = never referenced) and the index of its trailing "evicted at most
+	// once" row (-1 when the build emitted none), plus per boundary q the
+	// index of its "at most one interval spans q" row.  Extensions append
+	// intervals outside the start-major runs startOff describes; extStart[s]
+	// lists them per start, ordered by increasing End, so gapIntervals stays
+	// exact on an extended model.
+	lastRef     []int
+	tailRow     []int
+	boundaryRow []int
+	extStart    [][]int32
+
 	// warm is the basis seeding the next solve: captured automatically from
 	// this model's last optimal solve, or transplanted from a same-shaped
 	// model via WarmStart.  The solver falls back to a cold start whenever
@@ -174,6 +187,11 @@ func BuildInto(m *Model, in *core.Instance) error {
 		}
 	}
 	m.startOff[n] = len(m.Intervals)
+	m.extStart = m.extStart[:cap(m.extStart)]
+	for i := range m.extStart {
+		m.extStart[i] = m.extStart[i][:0]
+	}
+	m.extStart = m.extStart[:0]
 
 	prob := m.Problem
 	if prob == nil {
@@ -217,6 +235,9 @@ func BuildInto(m *Model, in *core.Instance) error {
 		}
 	}
 
+	m.boundaryRow = resizeInts(m.boundaryRow, n)
+	m.lastRef = resizeInts(m.lastRef, len(m.Blocks))
+	m.tailRow = resizeInts(m.tailRow, len(m.Blocks))
 	m.addBoundaryConstraints()
 	m.addPerIntervalConstraints()
 	m.addBlockFlowConstraints()
@@ -270,6 +291,7 @@ func (m *Model) blockReferencedInside(b core.BlockID, iv Interval) bool {
 func (m *Model) addBoundaryConstraints() {
 	n := m.In.N()
 	coeffs := m.coefBuf
+	m.boundaryRow[0] = -1
 	for q := 1; q <= n-1; q++ {
 		coeffs = coeffs[:0]
 		lo := q - m.In.F // smallest start whose run (End <= s+F+1) reaches End >= q+1
@@ -284,8 +306,9 @@ func (m *Model) addBoundaryConstraints() {
 				coeffs = append(coeffs, lp.Coef{Var: m.xVar[base+t], Value: 1})
 			}
 		}
+		m.boundaryRow[q] = -1
 		if len(coeffs) > 0 {
-			m.Problem.AddConstraint(coeffs, lp.LE, 1)
+			m.boundaryRow[q] = m.Problem.AddConstraint(coeffs, lp.LE, 1)
 		}
 	}
 	m.coefBuf = coeffs
@@ -295,33 +318,40 @@ func (m *Model) addBoundaryConstraints() {
 // balance (every disk fetches exactly x(I)) and the fetch/evict balance.
 func (m *Model) addPerIntervalConstraints() {
 	for idx := range m.Intervals {
-		x := m.xVar[idx]
-		for d := 0; d < m.In.Disks; d++ {
-			coeffs := append(m.coefBuf[:0],
-				lp.Coef{Var: x, Value: -1}, lp.Coef{Var: m.sVar[idx*m.In.Disks+d], Value: 1})
-			for bi, b := range m.Blocks {
-				if m.blockDisk(b) != d {
-					continue
-				}
-				if v := m.fetchVar(idx, bi); v != noVar {
-					coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
-				}
+		m.addIntervalRows(idx)
+	}
+}
+
+// addIntervalRows adds the per-disk fetch balance and the fetch/evict balance
+// of the single interval idx; it is shared by the full build and the
+// trace-extension path, which appends these rows for each new interval.
+func (m *Model) addIntervalRows(idx int) {
+	x := m.xVar[idx]
+	for d := 0; d < m.In.Disks; d++ {
+		coeffs := append(m.coefBuf[:0],
+			lp.Coef{Var: x, Value: -1}, lp.Coef{Var: m.sVar[idx*m.In.Disks+d], Value: 1})
+		for bi, b := range m.Blocks {
+			if m.blockDisk(b) != d {
+				continue
 			}
-			m.Problem.AddConstraint(coeffs, lp.EQ, 0)
-			m.coefBuf = coeffs
-		}
-		coeffs := m.coefBuf[:0]
-		for bi := range m.Blocks {
 			if v := m.fetchVar(idx, bi); v != noVar {
 				coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
-			}
-			if v := m.evictVar(idx, bi); v != noVar {
-				coeffs = append(coeffs, lp.Coef{Var: v, Value: -1})
 			}
 		}
 		m.Problem.AddConstraint(coeffs, lp.EQ, 0)
 		m.coefBuf = coeffs
 	}
+	coeffs := m.coefBuf[:0]
+	for bi := range m.Blocks {
+		if v := m.fetchVar(idx, bi); v != noVar {
+			coeffs = append(coeffs, lp.Coef{Var: v, Value: 1})
+		}
+		if v := m.evictVar(idx, bi); v != noVar {
+			coeffs = append(coeffs, lp.Coef{Var: v, Value: -1})
+		}
+	}
+	m.Problem.AddConstraint(coeffs, lp.EQ, 0)
+	m.coefBuf = coeffs
 }
 
 // gapIntervals returns the indices of intervals fully contained in the open
@@ -336,17 +366,30 @@ func (m *Model) addPerIntervalConstraints() {
 func (m *Model) gapIntervals(lo, hi int) []int {
 	out := m.gapBuf[:0]
 	n := m.In.N()
+	n0 := len(m.startOff) - 1 // starts covered by the build-time runs
 	if lo < 0 {
 		lo = 0
 	}
 	for s := lo; s < n && s < hi; s++ {
-		base := m.startOff[s]
-		count := hi - s // intervals with End in s+1 .. hi
-		if run := m.startOff[s+1] - base; count > run {
-			count = run
+		if s < n0 {
+			base := m.startOff[s]
+			count := hi - s // intervals with End in s+1 .. hi
+			if run := m.startOff[s+1] - base; count > run {
+				count = run
+			}
+			for t := 0; t < count; t++ {
+				out = append(out, base+t)
+			}
 		}
-		for t := 0; t < count; t++ {
-			out = append(out, base+t)
+		if s >= len(m.extStart) {
+			continue
+		}
+		// Extension intervals starting at s, End-ascending like the runs.
+		for _, idx := range m.extStart[s] {
+			if m.Intervals[idx].End > hi {
+				break
+			}
+			out = append(out, int(idx))
 		}
 	}
 	m.gapBuf = out
@@ -361,6 +404,8 @@ func (m *Model) addBlockFlowConstraints() {
 	n := m.In.N()
 	for bi, b := range m.Blocks {
 		occ := m.ix.Occurrences(b)
+		m.lastRef[bi] = 0
+		m.tailRow[bi] = -1
 		if len(occ) == 0 {
 			// Never-referenced block (a dummy or an unused initial block):
 			// it may be evicted at most once over the whole sequence.
@@ -374,7 +419,7 @@ func (m *Model) addBlockFlowConstraints() {
 				}
 			}
 			if len(coeffs) > 0 {
-				m.Problem.AddConstraint(coeffs, lp.LE, 1)
+				m.tailRow[bi] = m.Problem.AddConstraint(coeffs, lp.LE, 1)
 			}
 			m.coefBuf = coeffs
 			continue
@@ -412,6 +457,7 @@ func (m *Model) addBlockFlowConstraints() {
 			m.addGapBalance(bi, refs[i], refs[i+1])
 		}
 		// After the last reference the block may be evicted at most once.
+		m.lastRef[bi] = refs[len(refs)-1]
 		coeffs := m.coefBuf[:0]
 		for _, idx := range m.gapIntervals(refs[len(refs)-1], n) {
 			if v := m.evictVar(idx, bi); v != noVar {
@@ -419,7 +465,7 @@ func (m *Model) addBlockFlowConstraints() {
 			}
 		}
 		if len(coeffs) > 0 {
-			m.Problem.AddConstraint(coeffs, lp.LE, 1)
+			m.tailRow[bi] = m.Problem.AddConstraint(coeffs, lp.LE, 1)
 		}
 		m.coefBuf = coeffs
 	}

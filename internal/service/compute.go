@@ -30,16 +30,7 @@ func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, in
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	resp := &ScheduleResponse{
-		Key:        fmt.Sprintf("%016x", in.Fingerprint()),
-		Strategy:   strategy,
-		N:          in.N(),
-		K:          in.K,
-		F:          in.F,
-		Disks:      in.Disks,
-		Blocks:     len(in.Blocks()),
-		ColdMisses: in.ColdMisses(),
-	}
+	resp := responseHeader(in, strategy)
 
 	var sched *core.Schedule
 	switch strategy {
@@ -93,20 +84,8 @@ func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, in
 		if err != nil {
 			return nil, err
 		}
-		resp.downgrades = frac.Downgrades
-		res, err := lpmodel.Extract(m, frac)
-		if err != nil {
+		if sched, err = lpSchedule(resp, m, frac); err != nil {
 			return nil, err
-		}
-		sched = res.Schedule
-		resp.LP = &LPInfo{
-			LowerBound:  res.LowerBound,
-			Integral:    res.Integral,
-			Offset:      res.Offset,
-			Variables:   res.LPVariables,
-			Constraints: res.LPConstraints,
-			Iterations:  res.LPIterations,
-			Candidates:  res.CandidatesTried,
 		}
 	default:
 		var err error
@@ -119,9 +98,55 @@ func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, in
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := finishSchedule(resp, in, strategy, sched, includeSchedule); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// responseHeader fills the instance-summary fields of a fresh response.
+func responseHeader(in *core.Instance, strategy string) *ScheduleResponse {
+	return &ScheduleResponse{
+		Key:        fmt.Sprintf("%016x", in.Fingerprint()),
+		Strategy:   strategy,
+		N:          in.N(),
+		K:          in.K,
+		F:          in.F,
+		Disks:      in.Disks,
+		Blocks:     len(in.Blocks()),
+		ColdMisses: in.ColdMisses(),
+	}
+}
+
+// lpSchedule extracts the integral schedule from a solved model, filling the
+// LP block of the response; the caller simulates the schedule like any other
+// strategy's.  It is shared between the one-shot lp-optimal path and the
+// session path, so both assemble byte-identical responses from the same
+// fractional solution.
+func lpSchedule(resp *ScheduleResponse, m *lpmodel.Model, frac *lpmodel.Fractional) (*core.Schedule, error) {
+	resp.downgrades = frac.Downgrades
+	res, err := lpmodel.Extract(m, frac)
+	if err != nil {
+		return nil, err
+	}
+	resp.LP = &LPInfo{
+		LowerBound:  res.LowerBound,
+		Integral:    res.Integral,
+		Offset:      res.Offset,
+		Variables:   res.LPVariables,
+		Constraints: res.LPConstraints,
+		Iterations:  res.LPIterations,
+		Candidates:  res.CandidatesTried,
+	}
+	return res.Schedule, nil
+}
+
+// finishSchedule simulates sched on in, filling the executed-cost fields and
+// (when requested) the fetch list.
+func finishSchedule(resp *ScheduleResponse, in *core.Instance, strategy string, sched *core.Schedule, includeSchedule bool) error {
 	res, err := sim.Run(in, sched, sim.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("service: %s schedule is infeasible: %w", strategy, err)
+		return fmt.Errorf("service: %s schedule is infeasible: %w", strategy, err)
 	}
 	resp.Stall = res.Stall
 	resp.Elapsed = res.Elapsed
@@ -141,7 +166,7 @@ func ComputeSchedule(ctx context.Context, in *core.Instance, strategy string, in
 			})
 		}
 	}
-	return resp, nil
+	return nil
 }
 
 // greedySchedule resolves a non-LP, non-exact strategy the same way the

@@ -1,7 +1,7 @@
 // Package service exposes the prefetching/caching algorithms and the
 // experiment suite as a long-lived HTTP/JSON service (command pcserve).
 //
-// Two request families are served:
+// Three request families are served:
 //
 //   - POST /v1/schedule computes one schedule: the request names an instance
 //     (an explicit reference sequence, a generated workload, or the pfcache
@@ -13,6 +13,23 @@
 //     experiments.RunAll and streams exactly the JSON that `pcbench -json`
 //     emits; pcbench itself builds its -json output through RunSweep, so the
 //     CLI and the service are thin clients of one code path.
+//   - The session family serves evolving traces incrementally.  POST
+//     /v1/session opens a session over an instance and returns its plan plus
+//     a session ID; POST /v1/session/{id}/extend appends requests to the
+//     trace and re-plans; DELETE /v1/session/{id} closes it.  A session owns
+//     a live LP model and solver pinned to one shard: an extension grows the
+//     model in place (lpmodel.Model.Extend) and re-optimises with the dual
+//     simplex from the previous optimal basis (lp.Options.Dual) instead of
+//     rebuilding, which is what makes per-step re-planning O(pivots changed)
+//     rather than O(whole program).  Extensions naming brand-new blocks,
+//     numeric taints, evictions and restarts all fall back transparently to
+//     a cold rebuild of the session's full transcript.  Sessions live in a
+//     bounded LRU with an idle TTL; every session solve runs under the
+//     verification cascade, so an extension's plan is cost-equivalent —
+//     same certified LP bound, same stall — to a cold /v1/schedule of the
+//     full extended trace.  An unknown, closed or expired session ID is a
+//     404, which a session-aware front tier treats as "replay the
+//     transcript onto a fresh session".
 //
 // Internally, schedule requests are sharded by the instance's canonical
 // fingerprint (core.Instance.Fingerprint) onto a fixed set of worker shards.

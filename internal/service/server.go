@@ -44,15 +44,22 @@ type Options struct {
 	// Workers is the experiment pool size restored after sweeps (0 = one
 	// worker per CPU).
 	Workers int
+	// SessionEntries bounds the number of live planning sessions; beyond it
+	// the least-recently-used session is dropped (0 = 256).
+	SessionEntries int
+	// SessionTTL is a session's idle lifetime; one untouched for longer is
+	// expired (0 = 15 minutes).
+	SessionTTL time.Duration
 }
 
 // Server is the sharded sweep service.  It implements http.Handler.
 type Server struct {
-	opts   Options
-	pool   *shardPool
-	cache  *lruCache
-	flight *flightGroup
-	mux    *http.ServeMux
+	opts     Options
+	pool     *shardPool
+	cache    *lruCache
+	flight   *flightGroup
+	sessions *sessionStore
+	mux      *http.ServeMux
 
 	// sweepMu serialises sweeps against schedule requests: sweeps embed the
 	// process-wide lp/opt counters in their output, so they must run with no
@@ -68,18 +75,27 @@ type Server struct {
 	canceled atomic.Uint64 // requests abandoned by their client
 	timeouts atomic.Uint64 // requests that hit the server-side deadline
 	panics   atomic.Uint64 // handler panics converted to 500s
+
+	sessCreates  atomic.Uint64 // sessions opened
+	sessExtends  atomic.Uint64 // session extensions served
+	sessCloses   atomic.Uint64 // sessions explicitly closed
+	sessRebuilds atomic.Uint64 // extensions answered by a cold transcript replay
 }
 
 // NewServer builds a server and starts its shard goroutines.
 func NewServer(opts Options) *Server {
 	s := &Server{
-		opts:   opts,
-		pool:   newShardPool(opts.Shards, opts.QueueDepth),
-		cache:  newLRUCache(opts.CacheEntries),
-		flight: newFlightGroup(),
-		mux:    http.NewServeMux(),
+		opts:     opts,
+		pool:     newShardPool(opts.Shards, opts.QueueDepth),
+		cache:    newLRUCache(opts.CacheEntries),
+		flight:   newFlightGroup(),
+		sessions: newSessionStore(opts.SessionEntries, opts.SessionTTL),
+		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/session/{id}/extend", s.handleSessionExtend)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -122,22 +138,29 @@ func (s *Server) Close() { s.pool.close() }
 // work is visible without running a sweep.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
-		Shards:       s.pool.size(),
-		CacheEntries: s.cache.len(),
-		CacheHits:    s.cache.hits.Load(),
-		CacheMisses:  s.cache.misses.Load(),
-		Coalesced:    s.flight.coalesced.Load(),
-		Evictions:    s.cache.evictions.Load(),
-		Computed:     s.computed.Load(),
-		Sweeps:       s.sweeps.Load(),
-		Shed:         s.pool.shed.Load(),
-		Panics:       s.pool.panics.Load() + s.panics.Load(),
-		Canceled:     s.canceled.Load(),
-		Timeouts:     s.timeouts.Load(),
-		Draining:     s.draining.Load(),
-		SolverResets: s.pool.resets.Load(),
-		LP:           lpCountersWire(lp.StatsSnapshot()),
-		Opt:          optCountersWire(opt.StatsSnapshot()),
+		Shards:             s.pool.size(),
+		CacheEntries:       s.cache.len(),
+		CacheHits:          s.cache.hits.Load(),
+		CacheMisses:        s.cache.misses.Load(),
+		Coalesced:          s.flight.coalesced.Load(),
+		Evictions:          s.cache.evictions.Load(),
+		Computed:           s.computed.Load(),
+		Sweeps:             s.sweeps.Load(),
+		Shed:               s.pool.shed.Load(),
+		Panics:             s.pool.panics.Load() + s.panics.Load(),
+		Canceled:           s.canceled.Load(),
+		Timeouts:           s.timeouts.Load(),
+		Draining:           s.draining.Load(),
+		SolverResets:       s.pool.resets.Load(),
+		Sessions:           s.sessions.len(),
+		SessionCreates:     s.sessCreates.Load(),
+		SessionExtends:     s.sessExtends.Load(),
+		SessionCloses:      s.sessCloses.Load(),
+		SessionEvictions:   s.sessions.evictions.Load(),
+		SessionExpirations: s.sessions.expirations.Load(),
+		SessionRebuilds:    s.sessRebuilds.Load(),
+		LP:                 lpCountersWire(lp.StatsSnapshot()),
+		Opt:                optCountersWire(opt.StatsSnapshot()),
 	}
 }
 

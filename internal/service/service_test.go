@@ -272,7 +272,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		t.Fatalf("decode experiments: %v", err)
 	}
 	resp.Body.Close()
-	if len(list) != 10 {
-		t.Errorf("experiment list has %d entries, want 10", len(list))
+	if len(list) != 11 {
+		t.Errorf("experiment list has %d entries, want 11", len(list))
 	}
 }

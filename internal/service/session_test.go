@@ -1,0 +1,498 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pfcache/internal/faultinject"
+	"pfcache/internal/lp"
+	"pfcache/internal/service"
+)
+
+// sessionWire mirrors service.SessionResponse with the schedule response
+// kept raw, so tests can compare it against the cold reference bytes.
+type sessionWire struct {
+	Session string          `json:"session"`
+	Length  int             `json:"length"`
+	Rebuilt bool            `json:"rebuilt"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// postJSON posts v and returns the status code and body.
+func postJSON(t *testing.T, client *http.Client, url string, v any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// createSession opens a session and fails the test on any error.
+func createSession(t *testing.T, client *http.Client, base string, req *service.SessionCreateRequest) *sessionWire {
+	t.Helper()
+	status, body := postJSON(t, client, base+"/v1/session", req)
+	if status != http.StatusOK {
+		t.Fatalf("create session: status %d: %s", status, body)
+	}
+	var out sessionWire
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	if out.Session == "" || out.Result == nil {
+		t.Fatalf("create session: incomplete response %s", body)
+	}
+	return &out
+}
+
+// extendSession extends a session, returning the decoded response (nil
+// unless the status is 200) alongside the raw status and body.
+func extendSession(t *testing.T, client *http.Client, base, id string, blocks []int) (*sessionWire, int, []byte) {
+	t.Helper()
+	status, body := postJSON(t, client, base+"/v1/session/"+id+"/extend",
+		&service.SessionExtendRequest{Requests: blocks, IncludeSchedule: true})
+	if status != http.StatusOK {
+		return nil, status, body
+	}
+	var out sessionWire
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("extend session: %v", err)
+	}
+	return &out, status, body
+}
+
+// closeSession closes a session and returns whether it was live.
+func closeSession(t *testing.T, client *http.Client, base, id string) bool {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/session/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Closed bool `json:"closed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("close session: status %d", resp.StatusCode)
+	}
+	return out.Closed
+}
+
+// assertPlanEquivalent checks that a session-served plan agrees with the cold
+// one-shot reference on everything the LP certifies: the instance header and
+// every simulated cost (stall, elapsed, fetch count, extra cache) must be
+// byte-identical, the LP bound must agree to float tolerance, and the program
+// shape (variables, constraints) must match.  Vertex-dependent detail is
+// deliberately NOT compared: a warm dual re-solve certifies the same optimal
+// objective but may land on a different optimal vertex of a degenerate LP, so
+// the extracted schedule's fetch issue times, the chosen timeline offset and
+// the effort counters can legitimately differ between equal-cost plans.
+func assertPlanEquivalent(t *testing.T, context string, gotRaw, wantRaw []byte) {
+	t.Helper()
+	var got, want map[string]any
+	if err := json.Unmarshal(gotRaw, &got); err != nil {
+		t.Errorf("%s: decoding session plan: %v", context, err)
+		return
+	}
+	if err := json.Unmarshal(wantRaw, &want); err != nil {
+		t.Errorf("%s: decoding cold reference: %v", context, err)
+		return
+	}
+	// fetch_count, extra_cache and the schedule rows are deliberately absent
+	// here: they describe the particular optimal vertex the solver reached,
+	// not the certified cost.
+	for _, field := range []string{
+		"key", "strategy", "n", "k", "f", "disks", "blocks", "cold_misses",
+		"stall", "elapsed",
+	} {
+		if !reflect.DeepEqual(got[field], want[field]) {
+			t.Errorf("%s: %s = %v, cold reference has %v", context, field, got[field], want[field])
+		}
+	}
+	gotLP, ok1 := got["lp"].(map[string]any)
+	wantLP, ok2 := want["lp"].(map[string]any)
+	if !ok1 || !ok2 {
+		t.Errorf("%s: missing lp block (got %v, want %v)", context, ok1, ok2)
+		return
+	}
+	gb, _ := gotLP["lower_bound"].(float64)
+	wb, _ := wantLP["lower_bound"].(float64)
+	if diff := math.Abs(gb - wb); diff > 1e-6*(1+math.Abs(wb)) {
+		t.Errorf("%s: lp.lower_bound = %v, cold reference has %v", context, gb, wb)
+	}
+	for _, field := range []string{"variables", "constraints"} {
+		if !reflect.DeepEqual(gotLP[field], wantLP[field]) {
+			t.Errorf("%s: lp.%s = %v, cold reference has %v", context, field, gotLP[field], wantLP[field])
+		}
+	}
+	_, gotSched := got["schedule"]
+	_, wantSched := want["schedule"]
+	if gotSched != wantSched {
+		t.Errorf("%s: schedule present=%v, cold reference has present=%v", context, gotSched, wantSched)
+	}
+}
+
+// coldReference computes the one-shot lp-optimal response for seq through
+// the sequential reference path (no server, no warm state).
+func coldReference(t *testing.T, seq []int, k, f, disks int) []byte {
+	t.Helper()
+	ref, err := service.ScheduleBody(&service.ScheduleRequest{
+		Strategy: "lp-optimal", Seq: seq, K: k, F: f, Disks: disks,
+		IncludeSchedule: true,
+	}, lp.Options{})
+	if err != nil {
+		t.Fatalf("cold reference for %d requests: %v", len(seq), err)
+	}
+	return ref
+}
+
+// sessionBaseSeq is a deterministic mixed-locality trace over 6 blocks.
+func sessionBaseSeq(n int, rng *rand.Rand) []int {
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = rng.Intn(6)
+	}
+	return seq
+}
+
+// TestSessionMatchesColdSolve drives a session through a series of
+// extensions and checks every served plan against the cold one-shot solve of
+// the same full trace: identical stalls, simulated costs and LP bounds.  This
+// is the end-to-end guarantee behind the session API — the incremental path
+// is an acceleration, never a worse answer (on a degenerate LP it may pick a
+// different equal-cost optimal vertex, which assertPlanEquivalent allows).
+func TestSessionMatchesColdSolve(t *testing.T) {
+	const k, f, disks = 3, 4, 2
+	rng := rand.New(rand.NewSource(42))
+	seq := sessionBaseSeq(18, rng)
+
+	srv := service.NewServer(service.Options{Shards: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sess := createSession(t, ts.Client(), ts.URL, &service.SessionCreateRequest{
+		ScheduleRequest: service.ScheduleRequest{
+			Strategy: "lp-optimal", Seq: seq, K: k, F: f, Disks: disks,
+			IncludeSchedule: true,
+		},
+	})
+	if sess.Length != len(seq) {
+		t.Fatalf("created session length = %d, want %d", sess.Length, len(seq))
+	}
+	assertPlanEquivalent(t, "create", sess.Result, coldReference(t, seq, k, f, disks))
+
+	for step := 0; step < 8; step++ {
+		ext := make([]int, 1+rng.Intn(2))
+		for i := range ext {
+			ext[i] = rng.Intn(6)
+		}
+		seq = append(seq, ext...)
+		out, status, body := extendSession(t, ts.Client(), ts.URL, sess.Session, ext)
+		if status != http.StatusOK {
+			t.Fatalf("step %d: status %d: %s", step, status, body)
+		}
+		if out.Length != len(seq) {
+			t.Fatalf("step %d: session length = %d, want %d", step, out.Length, len(seq))
+		}
+		if out.Rebuilt {
+			t.Errorf("step %d: fault-free extension claims a rebuild", step)
+		}
+		assertPlanEquivalent(t, fmt.Sprintf("step %d", step), out.Result, coldReference(t, seq, k, f, disks))
+	}
+
+	stats := srv.Stats()
+	if stats.SessionCreates != 1 || stats.SessionExtends != 8 {
+		t.Errorf("session counters: creates=%d extends=%d, want 1/8", stats.SessionCreates, stats.SessionExtends)
+	}
+	if stats.SessionRebuilds != 0 {
+		t.Errorf("session_rebuilds = %d without any fault", stats.SessionRebuilds)
+	}
+	if !closeSession(t, ts.Client(), ts.URL, sess.Session) {
+		t.Error("closing a live session reported closed=false")
+	}
+}
+
+// TestSessionLifecycleErrors covers the handle-management edges: unknown and
+// closed sessions answer 404 (the signal a session-aware front replays on),
+// closing is idempotent, extensions naming new blocks grow seq-sourced
+// sessions through a transparent rebuild but are rejected for explicit
+// instances (whose verbatim disk layout cannot be invented for new blocks),
+// and non-lp strategies are refused at create.
+func TestSessionLifecycleErrors(t *testing.T) {
+	srv := service.NewServer(service.Options{Shards: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	if _, status, _ := extendSession(t, client, ts.URL, "nonexistent", []int{1}); status != http.StatusNotFound {
+		t.Fatalf("extending an unknown session: status %d, want 404", status)
+	}
+
+	status, body := postJSON(t, client, ts.URL+"/v1/session", &service.SessionCreateRequest{
+		ScheduleRequest: service.ScheduleRequest{Strategy: "aggressive", Seq: []int{0, 1, 2}, K: 2, F: 2},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("non-lp session create: status %d (%s), want 400", status, body)
+	}
+
+	sess := createSession(t, client, ts.URL, &service.SessionCreateRequest{
+		ScheduleRequest: service.ScheduleRequest{
+			Strategy: "lp-optimal", Seq: []int{0, 1, 2, 0, 1, 2}, K: 2, F: 2,
+		},
+	})
+
+	// Block 99 was never referenced: the model cannot grow in place, so the
+	// seq-sourced session rebuilds transparently and keeps serving.
+	out, status, body := extendSession(t, client, ts.URL, sess.Session, []int{99})
+	if status != http.StatusOK || out.Length != 7 {
+		t.Fatalf("new-block extension: status %d (%s), want a transparent rebuild", status, body)
+	}
+	if !out.Rebuilt {
+		t.Error("new-block extension did not report rebuilt=true")
+	}
+	if st := srv.Stats(); st.SessionRebuilds == 0 {
+		t.Error("new-block growth left no session_rebuilds counter")
+	}
+	if out, status, body := extendSession(t, client, ts.URL, sess.Session, []int{0}); status != http.StatusOK || out.Length != 8 || out.Rebuilt {
+		t.Fatalf("known-block extension after growth: status %d rebuilt=%v (%s)", status, out != nil && out.Rebuilt, body)
+	}
+
+	// A session over an explicit instance has its disk layout given verbatim:
+	// an extension naming a block outside that layout cannot be placed and is
+	// rejected as a client error, without damaging the session.
+	inst := createSession(t, client, ts.URL, &service.SessionCreateRequest{
+		ScheduleRequest: service.ScheduleRequest{
+			Strategy: "lp-optimal",
+			Instance: "pfcache-instance v1\nk 2\nf 2\ndisks 2\ndisk 0 0\ndisk 1 1\ndisk 2 0\nseq 0 1 2 0 1 2\n",
+		},
+	})
+	if _, status, body := extendSession(t, client, ts.URL, inst.Session, []int{99}); status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown-block extension of an explicit instance: status %d (%s), want 422", status, body)
+	}
+	if out, status, body := extendSession(t, client, ts.URL, inst.Session, []int{0}); status != http.StatusOK || out.Length != 7 {
+		t.Fatalf("extension after a rejected one: status %d (%s)", status, body)
+	}
+
+	if !closeSession(t, client, ts.URL, sess.Session) {
+		t.Fatal("closing a live session reported closed=false")
+	}
+	if closeSession(t, client, ts.URL, sess.Session) {
+		t.Fatal("double close reported closed=true")
+	}
+	if _, status, _ := extendSession(t, client, ts.URL, sess.Session, []int{0}); status != http.StatusNotFound {
+		t.Fatalf("extending a closed session: status %d, want 404", status)
+	}
+}
+
+// TestSessionEvictionAndTTL pins the two reclamation paths: the LRU bound
+// drops the least-recently-used session, and an idle session past the TTL
+// expires.  Both surface to clients as the same 404.
+func TestSessionEvictionAndTTL(t *testing.T) {
+	srv := service.NewServer(service.Options{Shards: 1, SessionEntries: 2, SessionTTL: 150 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	mk := func() string {
+		return createSession(t, client, ts.URL, &service.SessionCreateRequest{
+			ScheduleRequest: service.ScheduleRequest{
+				Strategy: "lp-optimal", Seq: []int{0, 1, 2, 0, 1, 2}, K: 2, F: 2,
+			},
+		}).Session
+	}
+	first, second, third := mk(), mk(), mk()
+	if _, status, _ := extendSession(t, client, ts.URL, first, []int{0}); status != http.StatusNotFound {
+		t.Fatalf("LRU-evicted session: status %d, want 404", status)
+	}
+	if st := srv.Stats(); st.SessionEvictions == 0 {
+		t.Error("eviction left no session_evictions counter")
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	if _, status, _ := extendSession(t, client, ts.URL, second, []int{0}); status != http.StatusNotFound {
+		t.Fatalf("TTL-expired session: status %d, want 404", status)
+	}
+	_ = third
+	if st := srv.Stats(); st.SessionExpirations == 0 {
+		t.Error("expiry left no session_expirations counter")
+	}
+}
+
+// TestSessionHealsTaintByReplay injects numeric corruption into every
+// solve's first cascade rung and extends a session through it: the served
+// plan must still be cost-equivalent to the cold reference, with
+// the recovery visible as rebuilt=true and a session_rebuilds counter —
+// never as an error.  After the injector is gone the session serves warm
+// again from its rebuilt state.
+func TestSessionHealsTaintByReplay(t *testing.T) {
+	const k, f, disks = 3, 3, 2
+	seq := []int{0, 1, 2, 3, 4, 0, 1, 2, 5, 3, 0, 4, 1, 5, 2, 3}
+
+	srv := service.NewServer(service.Options{Shards: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sess := createSession(t, ts.Client(), ts.URL, &service.SessionCreateRequest{
+		ScheduleRequest: service.ScheduleRequest{
+			Strategy: "lp-optimal", Seq: seq, K: k, F: f, Disks: disks,
+			IncludeSchedule: true,
+		},
+	})
+
+	inj := faultinject.NewNumericInjector(1)
+	inj.Install()
+	seq = append(seq, 0)
+	out, status, body := extendSession(t, ts.Client(), ts.URL, sess.Session, []int{0})
+	inj.Uninstall()
+	if status != http.StatusOK {
+		t.Fatalf("extension under injected corruption: status %d: %s", status, body)
+	}
+	if inj.Miscomputes.Load() == 0 {
+		t.Fatal("injector never corrupted a solve")
+	}
+	if !out.Rebuilt {
+		t.Error("corrupted extension did not report rebuilt=true")
+	}
+	assertPlanEquivalent(t, "healed extension", out.Result, coldReference(t, seq, k, f, disks))
+	if st := srv.Stats(); st.SessionRebuilds == 0 {
+		t.Error("taint recovery left no session_rebuilds counter")
+	}
+
+	// The injector is gone: the rebuilt session serves clean warm extensions.
+	seq = append(seq, 1)
+	out, status, body = extendSession(t, ts.Client(), ts.URL, sess.Session, []int{1})
+	if status != http.StatusOK {
+		t.Fatalf("extension after recovery: status %d: %s", status, body)
+	}
+	if out.Rebuilt {
+		t.Error("clean extension after recovery still reports rebuilt=true")
+	}
+	assertPlanEquivalent(t, "post-recovery extension", out.Result, coldReference(t, seq, k, f, disks))
+}
+
+// TestSessionsConcurrent exercises several sessions advancing concurrently
+// (the -race coverage for the store and the per-shard pinning): every
+// session's final plan must match the cold solve of its own full trace.
+func TestSessionsConcurrent(t *testing.T) {
+	const k, f, disks = 3, 3, 1
+	srv := service.NewServer(service.Options{Shards: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			seq := sessionBaseSeq(12+g, rng)
+			body, err := json.Marshal(&service.SessionCreateRequest{
+				ScheduleRequest: service.ScheduleRequest{
+					Strategy: "lp-optimal", Seq: seq, K: k, F: f, Disks: disks,
+					IncludeSchedule: true,
+				},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := ts.Client().Post(ts.URL+"/v1/session", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			raw, readErr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if readErr != nil {
+				errs <- readErr
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("session %d: create status %d: %s", g, resp.StatusCode, raw)
+				return
+			}
+			var sess sessionWire
+			if err := json.Unmarshal(raw, &sess); err != nil {
+				errs <- err
+				return
+			}
+			var last json.RawMessage
+			for step := 0; step < 4; step++ {
+				ext := []int{rng.Intn(6)}
+				seq = append(seq, ext...)
+				ebody, err := json.Marshal(&service.SessionExtendRequest{Requests: ext, IncludeSchedule: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				eresp, err := ts.Client().Post(ts.URL+"/v1/session/"+sess.Session+"/extend", "application/json", bytes.NewReader(ebody))
+				if err != nil {
+					errs <- err
+					return
+				}
+				eraw, readErr := io.ReadAll(eresp.Body)
+				eresp.Body.Close()
+				if readErr != nil {
+					errs <- readErr
+					return
+				}
+				if eresp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("session %d step %d: extend status %d: %s", g, step, eresp.StatusCode, eraw)
+					return
+				}
+				var out sessionWire
+				if err := json.Unmarshal(eraw, &out); err != nil {
+					errs <- err
+					return
+				}
+				last = out.Result
+			}
+			ref, err := service.ScheduleBody(&service.ScheduleRequest{
+				Strategy: "lp-optimal", Seq: seq, K: k, F: f, Disks: disks,
+				IncludeSchedule: true,
+			}, lp.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			assertPlanEquivalent(t, fmt.Sprintf("session %d final plan", g), last, ref)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

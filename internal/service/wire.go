@@ -142,6 +142,51 @@ type ScheduleResponse struct {
 	downgrades int
 }
 
+// SessionCreateRequest opens a planning session (POST /v1/session) over an
+// instance described exactly like a one-shot schedule request.  Sessions
+// serve the lp-optimal strategy (Strategy may be left empty).  Session
+// optionally pins the session identifier — clients normally leave it empty
+// and use the server-assigned ID, while a session-aware front tier sets it
+// so a transcript replayed onto another backend keeps the client's handle.
+type SessionCreateRequest struct {
+	ScheduleRequest
+	Session string `json:"session,omitempty"`
+}
+
+// SessionExtendRequest appends requests to a session's trace
+// (POST /v1/session/{id}/extend) and asks for the re-planned schedule.
+type SessionExtendRequest struct {
+	// Requests are the appended block references, in order.  They must name
+	// blocks of the session's instance (referenced or initially cached): a
+	// block the built program has never seen would need a rebuild with a disk
+	// assignment the session cannot invent, and is rejected as a client error.
+	Requests []int `json:"requests"`
+
+	// IncludeSchedule adds the fetch list to the response.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+// SessionResponse answers a session create or extend: the session handle,
+// the current trace length, and the schedule response for the full trace so
+// far — assembled by the same code as a one-shot lp-optimal request for that
+// trace.  Rebuilt reports that this answer came from a cold transcript
+// replay (a numeric taint forced the session to discard its warm state); the
+// result is the same either way, only the path to it differs.
+type SessionResponse struct {
+	Session string            `json:"session"`
+	Length  int               `json:"length"`
+	Rebuilt bool              `json:"rebuilt,omitempty"`
+	Result  *ScheduleResponse `json:"result"`
+}
+
+// SessionCloseResponse answers DELETE /v1/session/{id}.  Closed is false
+// when the session was already gone (closed, evicted or expired) — closing
+// is idempotent, so that is a 200, not an error.
+type SessionCloseResponse struct {
+	Session string `json:"session"`
+	Closed  bool   `json:"closed"`
+}
+
 // TableWire is the wire form of one experiment result table.  Its JSON tags
 // are the stable BENCH_*.json trajectory format.
 type TableWire struct {
@@ -180,6 +225,8 @@ type LPCountersWire struct {
 	CascadeFallbacks uint64 `json:"cascade_fallbacks"`
 	SymbolicReuses   uint64 `json:"symbolic_reuses"`
 	NumericRefactors uint64 `json:"numeric_refactors"`
+	DualPivots       uint64 `json:"dual_pivots"`
+	FTUpdates        uint64 `json:"ft_updates"`
 }
 
 // lpCountersWire converts an lp.Counters snapshot to its wire form.
@@ -197,6 +244,8 @@ func lpCountersWire(c lp.Counters) LPCountersWire {
 		CascadeFallbacks: c.CascadeFallbacks,
 		SymbolicReuses:   c.SymbolicReuses,
 		NumericRefactors: c.NumericRefactors,
+		DualPivots:       c.DualPivots,
+		FTUpdates:        c.FTUpdates,
 	}
 }
 
@@ -282,6 +331,17 @@ type StatsResponse struct {
 	Canceled uint64 `json:"canceled"`
 	Timeouts uint64 `json:"timeouts"`
 	Draining bool   `json:"draining"`
+
+	// Session counters: live sessions, lifecycle events, sessions dropped by
+	// the LRU bound or the idle TTL, and extensions that had to discard their
+	// warm state and replay the transcript cold (session_rebuilds).
+	Sessions           int    `json:"sessions"`
+	SessionCreates     uint64 `json:"session_creates"`
+	SessionExtends     uint64 `json:"session_extends"`
+	SessionCloses      uint64 `json:"session_closes"`
+	SessionEvictions   uint64 `json:"session_evictions"`
+	SessionExpirations uint64 `json:"session_expirations"`
+	SessionRebuilds    uint64 `json:"session_rebuilds"`
 
 	// SolverResets counts shard solvers discarded after a numerical failure
 	// (a solve that needed the verification cascade, a cascade exhaustion,

@@ -4,9 +4,12 @@
 # and without wall times (-stable) so the tables are byte-reproducible, plus
 # a `timings` block of wall-clock ns/op figures for the solver and search
 # benchmarks (BenchmarkRevisedSolve*, BenchmarkBatchSolve*,
-# BenchmarkModelBatch*, BenchmarkOptSearch*) so the perf trajectory is
-# tracked alongside the counters.  Timings are informational: cmd/benchdiff
-# never compares them.
+# BenchmarkModelBatch*, BenchmarkOptSearch*) plus the incremental-path pairs
+# (BenchmarkDualResolve*, BenchmarkModelExtendResolve/BenchmarkModelColdResolve,
+# BenchmarkReplayIncrementalStep/BenchmarkReplayColdStep — the last pair's
+# ratio is the trace-replay speedup pcbench -replay reports) so the perf
+# trajectory is tracked alongside the counters.  Timings are informational:
+# cmd/benchdiff never compares them.
 #
 # Usage: scripts/bench.sh [output-file]
 #
@@ -26,6 +29,6 @@ fi
 bench=$(mktemp /tmp/bench-timings.XXXXXX)
 trap 'rm -f "$bench"' EXIT
 echo "running solver/search benchmarks for the timings block ..."
-go test -run '^$' -bench 'BenchmarkRevisedSolve|BenchmarkBatchSolve|BenchmarkModelBatch|BenchmarkOptSearch' ./... > "$bench"
+go test -run '^$' -bench 'BenchmarkRevisedSolve|BenchmarkBatchSolve|BenchmarkModelBatch|BenchmarkOptSearch|BenchmarkDualResolve|BenchmarkModelExtendResolve|BenchmarkModelColdResolve|BenchmarkReplay' ./... > "$bench"
 go run ./cmd/pcbench -json -stable -workers 1 -timings "$bench" > "$out"
 echo "wrote $out"
