@@ -12,6 +12,8 @@
 //	pcbench -json           # emit JSON (for BENCH_*.json trajectory tracking)
 //	pcbench -json -stable   # omit wall times, for byte-reproducible JSON
 //	pcbench -workers 1      # force sequential execution
+//	pcbench -opt-workers 4  # run the exact searches on 4 goroutines (stall
+//	                        # values are invariant; effort counters move)
 //	pcbench -solver flat    # solve the LPs with the flat-tableau simplex
 //	pcbench -pricing steepest-edge  # override the pinned entering-column rule
 //	pcbench -basis lu       # override the pinned basis representation
@@ -67,6 +69,7 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit results as JSON (includes per-experiment wall time plus LP solver and exact-search counters)")
 	stable := flag.Bool("stable", false, "omit wall times from -json output so repeated runs are byte-identical")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
+	optWorkers := flag.Int("opt-workers", 1, "exact-search worker count (1 = sequential; >1 is for wall-clock comparisons — stall values are invariant but effort counters move, so combine with care under -stable)")
 	solver := flag.String("solver", "revised", "LP simplex implementation: revised or flat")
 	pricing := flag.String("pricing", "", "revised-simplex pricing rule: steepest-edge or dantzig (default: the suite's pinned dantzig)")
 	basis := flag.String("basis", "", "revised-simplex basis representation: lu or eta (default: the suite's pinned eta)")
@@ -121,6 +124,7 @@ func run() int {
 		}
 	}
 	experiments.SetBatch(*batch)
+	experiments.SetOptWorkers(*optWorkers)
 	var ids []string
 	if *runFlag != "" {
 		ids = strings.Split(*runFlag, ",")

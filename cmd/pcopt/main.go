@@ -5,14 +5,15 @@
 //
 //	pcgen -n 12 -blocks 6 -k 3 -f 2 -disks 2 | pcopt -method exhaustive
 //	pcgen -n 24 -blocks 10 -k 4 -f 4 -disks 2 | pcopt -bound none -full
+//	pcgen -n 40 -blocks 16 -k 4 -f 6 -disks 3 | pcopt -workers 4
 //	pcgen -n 40 -blocks 10 -k 4 -f 3 -disks 2 | pcopt -method lp
 //
 // The exhaustive method runs the A*/branch-and-bound search of internal/opt
-// (exact but exponential in the worst case); -bound, -full, -max-states and
-// -dijkstra expose the engine's knobs, and the search counters are printed
-// after the result.  The lp method runs the Theorem 4 pipeline of the paper
-// and reports both the fractional lower bound and the extracted schedule's
-// stall time.
+// (exact but exponential in the worst case); -bound, -full, -max-states,
+// -dijkstra, -no-landmarks, -no-dominance and -workers expose the engine's
+// knobs, and the search counters are printed after the result.  The lp method
+// runs the Theorem 4 pipeline of the paper and reports both the fractional
+// lower bound and the extracted schedule's stall time.
 package main
 
 import (
@@ -34,6 +35,9 @@ func main() {
 	maxStates := flag.Int("max-states", 0, fmt.Sprintf("state budget of the search (0 = default %d)", opt.DefaultMaxStates))
 	bound := flag.String("bound", "greedy", "branch-and-bound incumbent seeding: greedy or none")
 	dijkstra := flag.Bool("dijkstra", false, "disable the A* heuristic (uniform-cost order; with -bound none this is the blind reference search)")
+	noLandmarks := flag.Bool("no-landmarks", false, "disable the precomputed landmark lower bounds (A* keeps the per-state matching bound)")
+	noDominance := flag.Bool("no-dominance", false, "disable canonicalized dominance merging (duplicates are detected by raw key only)")
+	optWorkers := flag.Int("workers", 1, "parallel search workers (1 = sequential; >1 shards the open list across goroutines)")
 	showSchedule := flag.Bool("schedule", false, "print the optimal schedule")
 	flag.Parse()
 
@@ -58,6 +62,9 @@ func main() {
 			MaxStates:   *maxStates,
 			Bound:       boundMode,
 			NoHeuristic: *dijkstra,
+			NoLandmarks: *noLandmarks,
+			NoDominance: *noDominance,
+			Workers:     *optWorkers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -70,7 +77,12 @@ func main() {
 		fmt.Printf("states generated: %d\n", res.StatesGenerated)
 		fmt.Printf("pruned by bound: %d\n", res.PrunedByBound)
 		fmt.Printf("duplicate hits: %d\n", res.DuplicateHits)
+		fmt.Printf("pruned by dominance: %d\n", res.PrunedByDominance)
+		fmt.Printf("landmark hits: %d\n", res.LandmarkHits)
 		fmt.Printf("peak table size: %d\n", res.PeakTableSize)
+		if len(res.WorkerExpanded) > 0 {
+			fmt.Printf("workers: %d, per-worker expansions: %v\n", res.Workers, res.WorkerExpanded)
+		}
 		if res.SeedStall >= 0 {
 			status := "beaten by the search"
 			if res.SeedOptimal {

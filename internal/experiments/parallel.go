@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"pfcache/internal/core"
@@ -44,7 +45,7 @@ func E2IntroParallelExample() (*report.Table, error) {
 		}
 		t.AddRow(a.Name, res.Stall, res.Elapsed, res.ExtraCache)
 	}
-	optRes, err := opt.Optimal(in, opt.Options{})
+	optRes, err := opt.Optimal(in, optOptions(opt.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -58,23 +59,46 @@ func E2IntroParallelExample() (*report.Table, error) {
 // on the previous D-approximation.  Expected shape: "stall ratio" at most
 // 1.000 for every D (the schedule may even beat OPT(k) thanks to its extra
 // locations) and "max extra" at most 2(D-1).  The n=11 rows are the
-// historical instance size; the n=22 rows are the larger instances unlocked
-// by the A*/branch-and-bound search, whose state expansions are reported next
-// to the blind Dijkstra reference's in the last two columns.
+// historical instance size, the n=22 rows the sizes the A*/branch-and-bound
+// search first unlocked, and the n=40 rows the sizes reachable with the
+// layered bounds.  The four trailing columns attribute the exact engine's
+// work per bound layer on the same instances: the matching-bound search
+// alone ("astar"), with the landmark table ("astar+lm"), with landmarks and
+// dominance merging ("astar+lm+dom" — the default engine), and the blind
+// Dijkstra reference.  A -1 records a layer that exhausted its state budget.
 func E7ParallelLPOptimal() (*report.Table, error) {
 	t := report.NewTable("E7: Theorem 4 - LP schedule vs optimal stall",
-		"D", "n", "instances", "mean stall ratio", "max stall ratio", "max extra cache", "budget 2(D-1)", "mean LP bound / OPT", "astar expanded", "dijkstra expanded")
-	t.Note = "Expected: stall ratio <= 1.000, extra cache within budget, astar expansions below dijkstra's."
+		"D", "n", "instances", "mean stall ratio", "max stall ratio", "max extra cache", "budget 2(D-1)", "mean LP bound / OPT", "astar expanded", "astar+lm expanded", "astar+lm+dom expanded", "dijkstra expanded")
+	t.Note = "Expected: stall ratio <= 1.000, extra cache within budget, expansions shrink with every bound layer."
 	diskSet := []int{1, 2, 3}
 	sizes := []struct{ n, blocks, k, f int }{
 		{11, 6, 3, 2},
 		{22, 10, 4, 4},
+		{40, 16, 4, 6},
 	}
 	const seeds = 4
 	type point struct {
-		ratio, bound      float64
-		extra             int
-		astarExp, dijkExp int
+		ratio, bound                     float64
+		extra                            int
+		astarExp, lmExp, domExp, dijkExp int
+	}
+	// layerExpansions runs one engine configuration and returns its expansion
+	// count, or -1 when the configuration exhausts its state budget (the
+	// instance is then out of that layer's reach; stall agreement is checked
+	// only for configurations that complete).
+	layerExpansions := func(in *core.Instance, o opt.Options, wantStall int, label string) (int, error) {
+		res, err := opt.Optimal(in, o)
+		if err != nil {
+			var tle *opt.TooLargeError
+			if errors.As(err, &tle) {
+				return -1, nil
+			}
+			return 0, err
+		}
+		if res.Stall != wantStall {
+			return 0, fmt.Errorf("E7: %s engine disagrees: stall %d, want %d", label, res.Stall, wantStall)
+		}
+		return res.StatesExpanded, nil
 	}
 	points := make([]point, len(diskSet)*len(sizes)*seeds)
 	err := forEach(len(points), func(i int) error {
@@ -83,17 +107,21 @@ func E7ParallelLPOptimal() (*report.Table, error) {
 		seed := int64(i % seeds)
 		seq := workload.Uniform(size.n, size.blocks, 900+seed)
 		in := workload.Instance(seq, size.k, size.f, disks, workload.AssignStripe, 0)
-		optRes, err := opt.Optimal(in, opt.Options{})
+		optRes, err := opt.Optimal(in, optOptions(opt.Options{}))
 		if err != nil {
 			return err
 		}
-		dijkRes, err := opt.Optimal(in, opt.Options{Bound: opt.BoundNone, NoHeuristic: true})
+		astarExp, err := layerExpansions(in, optOptions(opt.Options{NoLandmarks: true, NoDominance: true}), optRes.Stall, "matching-bound")
 		if err != nil {
 			return err
 		}
-		if dijkRes.Stall != optRes.Stall {
-			return fmt.Errorf("E7: engines disagree on D=%d n=%d seed=%d: astar %d, dijkstra %d",
-				disks, size.n, seed, optRes.Stall, dijkRes.Stall)
+		lmExp, err := layerExpansions(in, optOptions(opt.Options{NoDominance: true}), optRes.Stall, "landmark")
+		if err != nil {
+			return err
+		}
+		dijkExp, err := layerExpansions(in, optOptions(opt.Options{Bound: opt.BoundNone, NoHeuristic: true}), optRes.Stall, "dijkstra")
+		if err != nil {
+			return err
 		}
 		var res *lpmodel.PlanResult
 		if BatchEnabled() {
@@ -114,18 +142,29 @@ func E7ParallelLPOptimal() (*report.Table, error) {
 			ratio:    stats.Ratio(float64(res.Stall), float64(optRes.Stall)),
 			bound:    stats.Ratio(res.LowerBound, float64(optRes.Stall)),
 			extra:    res.ExtraCache,
-			astarExp: optRes.StatesExpanded,
-			dijkExp:  dijkRes.StatesExpanded,
+			astarExp: astarExp,
+			lmExp:    lmExp,
+			domExp:   optRes.StatesExpanded,
+			dijkExp:  dijkExp,
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// sumExp adds a layer's expansions across a row group; one exhausted seed
+	// (-1) marks the whole cell -1, since the sum would not be comparable.
+	sumExp := func(acc, v int) int {
+		if acc < 0 || v < 0 {
+			return -1
+		}
+		return acc + v
+	}
 	for di, disks := range diskSet {
 		for si, size := range sizes {
 			var ratios, bounds []float64
-			maxExtra, astarExp, dijkExp := 0, 0, 0
+			maxExtra := 0
+			astarExp, lmExp, domExp, dijkExp := 0, 0, 0, 0
 			base := (di*len(sizes) + si) * seeds
 			for _, p := range points[base : base+seeds] {
 				ratios = append(ratios, p.ratio)
@@ -133,12 +172,14 @@ func E7ParallelLPOptimal() (*report.Table, error) {
 				if p.extra > maxExtra {
 					maxExtra = p.extra
 				}
-				astarExp += p.astarExp
-				dijkExp += p.dijkExp
+				astarExp = sumExp(astarExp, p.astarExp)
+				lmExp = sumExp(lmExp, p.lmExp)
+				domExp = sumExp(domExp, p.domExp)
+				dijkExp = sumExp(dijkExp, p.dijkExp)
 			}
 			s := stats.Summarize(ratios)
 			b := stats.Summarize(bounds)
-			t.AddRow(disks, size.n, seeds, s.Mean, s.Max, maxExtra, 2*(disks-1), b.Mean, astarExp, dijkExp)
+			t.AddRow(disks, size.n, seeds, s.Mean, s.Max, maxExtra, 2*(disks-1), b.Mean, astarExp, lmExp, domExp, dijkExp)
 		}
 	}
 	return t, nil
@@ -265,11 +306,11 @@ func A1SynchronizationAblation() (*report.Table, error) {
 		seed := int64(i % seeds)
 		seq := workload.Uniform(10, 6, 300+seed)
 		in := workload.Instance(seq, 3, 2, disks, workload.AssignStripe, 0)
-		base, err := opt.OptimalStall(in, opt.Options{})
+		base, err := opt.OptimalStall(in, optOptions(opt.Options{}))
 		if err != nil {
 			return err
 		}
-		extra, err := opt.OptimalStall(in, opt.Options{ExtraCache: disks - 1})
+		extra, err := opt.OptimalStall(in, optOptions(opt.Options{ExtraCache: disks - 1}))
 		if err != nil {
 			return err
 		}

@@ -95,17 +95,16 @@ func sample(m *Model, frac *Fractional, idxs []int, dist []float64, total, t flo
 // every sampled interval performs, on each disk, a fetch of the missing block
 // with the earliest next reference (property (1) of the paper), evicting a
 // resident block whose next reference is furthest in the future (property
-// (2)) only when the planning cache budget of k + (D-1) locations is full.
-// A fetch is skipped when even the furthest-referenced resident block is
-// requested before the block to be fetched - evicting it would only create an
-// earlier miss; a later sampled interval handles the block instead.
-func extractSchedule(in *core.Instance, samples []sampledInterval) *core.Schedule {
+// (2)) only when the planning cache budget is full.  A fetch is skipped when
+// even the furthest-referenced resident block is requested before the block
+// to be fetched - evicting it would only create an earlier miss; a later
+// sampled interval handles the block instead.
+func extractSchedule(in *core.Instance, samples []sampledInterval, budget int) *core.Schedule {
 	ix := core.NewIndex(in.Seq)
 	planned := make(map[core.BlockID]bool, in.K)
 	for _, b := range in.InitialCache {
 		planned[b] = true
 	}
-	budget := in.K + in.Disks - 1
 	sched := &core.Schedule{}
 	for _, s := range samples {
 		pos := s.iv.Start // 0-based position of the first request after the interval opens
@@ -228,41 +227,67 @@ func Extract(m *Model, frac *Fractional) (*PlanResult, error) {
 		return result, nil
 	}
 
-	// Candidate offsets: the fractional part of every interval's start on the
-	// timeline (nudged inside the interval), as in the paper; plus 0 for the
-	// integral case.
+	// Candidate offsets and planning budgets, in three tiers.  Tier 1 is the
+	// paper's rounding: the fractional part of every interval's start on the
+	// timeline (nudged inside the interval), plus 0 for the integral case,
+	// planned against k + (D-1) locations.  Tier 2 widens the enumeration to
+	// the remaining distinct fractional offsets of the solution - every
+	// interval's end.  Tier 3 re-tries every offset with the full
+	// k + 2(D-1) planning budget Theorem 4 allows: the narrow budget forces
+	// evictions that can defer a block to a later sampled interval that never
+	// comes, while the full allowance keeps such blocks resident (the
+	// resulting schedules still respect the theorem's extra-cache bound).
+	// Each tier is consulted only when the previous tiers produced no
+	// feasible schedule, so instances the classic enumeration handles keep
+	// their historical schedules.
 	seen := make(map[int64]bool)
-	var candidates []float64
-	add := func(t float64) {
+	var starts, ends []float64
+	add := func(list []float64, t float64) []float64 {
 		t = t - math.Floor(t)
 		keyVal := int64(math.Round(t * 1e9))
 		if !seen[keyVal] {
 			seen[keyVal] = true
-			candidates = append(candidates, t)
+			list = append(list, t)
 		}
+		return list
 	}
-	add(1e-7)
+	starts = add(starts, 1e-7)
 	for i := range idxs {
-		add(dist[i] + 1e-7)
+		starts = add(starts, dist[i]+1e-7)
+	}
+	for i, idx := range idxs {
+		ends = add(ends, dist[i]+frac.X[idx]+1e-7)
 	}
 
 	var best *sim.Result
 	var bestSched *core.Schedule
 	var bestT float64
 	var lastErr error
-	for _, t := range candidates {
-		samples := sample(m, frac, idxs, dist, total, t)
-		sched := extractSchedule(in, samples)
-		res, clean, err := evaluate(in, sched)
-		if err != nil {
-			lastErr = err
-			continue
+	try := func(candidates []float64, budget int) {
+		for _, t := range candidates {
+			samples := sample(m, frac, idxs, dist, total, t)
+			sched := extractSchedule(in, samples, budget)
+			res, clean, err := evaluate(in, sched)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			result.CandidatesTried++
+			if best == nil || res.Stall < best.Stall ||
+				(res.Stall == best.Stall && res.ExtraCache < best.ExtraCache) {
+				best, bestSched, bestT = res, clean, t
+			}
 		}
-		result.CandidatesTried++
-		if best == nil || res.Stall < best.Stall ||
-			(res.Stall == best.Stall && res.ExtraCache < best.ExtraCache) {
-			best, bestSched, bestT = res, clean, t
-		}
+	}
+	narrow := in.K + in.Disks - 1
+	wide := in.K + 2*(in.Disks-1)
+	try(starts, narrow)
+	if best == nil {
+		try(ends, narrow)
+	}
+	if best == nil && wide > narrow {
+		try(starts, wide)
+		try(ends, wide)
 	}
 	if best == nil {
 		return nil, fmt.Errorf("lpmodel: no candidate offset produced a feasible schedule (last error: %v)", lastErr)

@@ -1,0 +1,69 @@
+package lpmodel
+
+import (
+	"testing"
+
+	"pfcache/internal/lp"
+	"pfcache/internal/workload"
+)
+
+// The D=2, n=35, k=4, F=3 uniform family is the smallest family in which the
+// paper's classic rounding - start offsets only, planned against k + (D-1)
+// locations - systematically fails to produce any feasible schedule: the
+// narrow budget forces evictions that defer a block to a later sampled
+// interval that never comes.  The seeds below were found by scanning that
+// family for classic-enumeration failures; the widened enumeration (interval
+// end offsets, then the full k + 2(D-1) budget of Theorem 4) must turn every
+// one of them into a feasible schedule within the theorem's extra-cache
+// bound.
+func regressInstance(seed int64) (*Model, *Fractional, error) {
+	seq := workload.Uniform(35, 12, seed)
+	in := workload.Instance(seq, 4, 3, 2, workload.AssignStripe, 0)
+	m, err := Build(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	frac, err := m.Solve(lp.Options{Pricing: lp.PricingDantzig, Basis: lp.BasisEta})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, frac, nil
+}
+
+func TestExtractRegressionSeeds(t *testing.T) {
+	// Every seed here fails the classic enumeration and passes the widened
+	// one.
+	for _, seed := range []int64{7, 11, 33, 46, 56, 75, 113, 117, 119, 128, 129} {
+		m, frac, err := regressInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Extract(m, frac)
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			continue
+		}
+		if budget := 2 * (m.In.Disks - 1); res.ExtraCache > budget {
+			t.Errorf("seed %d: extra cache %d exceeds the 2(D-1) = %d budget", seed, res.ExtraCache, budget)
+		}
+	}
+}
+
+func TestExtractRegressionOpenSeeds(t *testing.T) {
+	// Seeds the widened enumeration still cannot extract: tracked here so a
+	// future extraction improvement un-skips them (the test validates the
+	// schedule as soon as Extract starts succeeding).
+	for _, seed := range []int64{97} {
+		m, frac, err := regressInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Extract(m, frac)
+		if err != nil {
+			t.Skipf("seed %d still fails extraction: %v", seed, err)
+		}
+		if budget := 2 * (m.In.Disks - 1); res.ExtraCache > budget {
+			t.Errorf("seed %d: extra cache %d exceeds the 2(D-1) = %d budget", seed, res.ExtraCache, budget)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package opt computes exactly optimal prefetching/caching schedules for
 // small instances by informed search (A* with branch-and-bound pruning) over
-// system states.
+// system states, optionally sharded across goroutines.
 //
 // The paper compares its algorithms against an information-theoretic optimum
 // OPT: the minimum stall time (equivalently elapsed time) over all feasible
@@ -25,49 +25,75 @@
 //
 // The engine is A* with branch-and-bound pruning.  Node records live in a
 // flat arena addressed by int32 indices, reached states are looked up in an
-// open-addressing hash table over the packed state keys, and the frontier is
-// a monotone bucket queue over f = g + h (stall costs are small non-negative
-// integers), so the search performs no per-node heap allocations.  Options
-// can disable both refinements (NoHeuristic and BoundNone), which yields
-// exactly the historical uniform-cost Dijkstra search; the property tests pin
-// the informed engine to the blind one on random instances.
+// open-addressing hash table, and the frontier is a monotone bucket queue
+// over f = g + h (stall costs are small non-negative integers), so the search
+// performs no per-node heap allocations.  Options can disable every
+// refinement (NoHeuristic, NoLandmarks, NoDominance, BoundNone); NoHeuristic
+// plus BoundNone yields exactly the historical uniform-cost Dijkstra search
+// (dominance auto-disables there), and the property tests pin the informed
+// engine to the blind one on random instances.
 //
-// # The heuristic and its admissibility
+// # The bound hierarchy and its admissibility
 //
 // h lower-bounds the stall time still to be paid from a state s with r
-// unserved requests.  Let n be the request count, let t(s) be the wall-clock
-// time already spent and g(s) the stall already paid, so t(s) = (n - r) +
-// g(s).  Any completion of s serves r more requests, hence total elapsed time
-// is t(s) + E where E, the remaining elapsed time, satisfies remaining stall
-// = E - r.  Any lower bound on E therefore gives the admissible heuristic
-// h = max(0, max_d T_d - r), where T_d lower-bounds E via the mandatory work
-// of disk d:
+// unserved requests.  Let n be the request count, t(s) the wall-clock time
+// already spent and g(s) the stall already paid, so t(s) = (n - r) + g(s).
+// Any completion of s serves r more requests, so its remaining elapsed time E
+// satisfies remaining stall = E - r, and any lower bound T on E gives the
+// admissible h = max(0, T - r).  Three bound families are combined by max;
+// each lower-bounds E for every feasible completion.
 //
-//   - Let m_d be the number of distinct blocks that are referenced at or
-//     after the cursor and are neither resident nor in flight, residing on
-//     disk d.  Each such block must complete a fetch of length F on disk d
-//     before its first future reference is served (blocks only become
-//     resident through fetches on their own disk).  Fetches on one disk
-//     execute sequentially, and an in-flight fetch (rem_d time units
-//     remaining) cannot be aborted, so the last of these fetches completes no
-//     earlier than rem_d + m_d*F from now.
-//   - The scheduler chooses the fetch order, so the block fetched last can
-//     only be one of the m_d missing blocks; after its completion, at least
-//     the requests from its first future reference p to the end must still be
-//     served, taking at least n - p time units.  Minimising over the
-//     scheduler's choice gives the admissible residue n - maxRef_d, where
-//     maxRef_d is the latest first-future-reference among the m_d blocks.
-//     Hence T_d = rem_d + m_d*F + (n - maxRef_d).
-//   - If disk d's in-flight block is itself still referenced (at position q),
-//     its delivery completes rem_d from now and the requests q..n-1 are
-//     served only afterwards: T_d >= rem_d + (n - q).  The maximum of both
-//     bounds is used.
+// Per-disk slot/reference matching.  Let disk d carry an in-flight fetch with
+// rem_d time remaining (rem_d = 0 if idle) and let p_1 < p_2 < ... < p_m be
+// the first future references of the m missing blocks on disk d (referenced
+// at or after the cursor, neither resident nor in flight).  Fetches on one
+// disk execute sequentially and cannot be aborted, so the j-th remaining
+// fetch on disk d (any order) completes no earlier than slot_j = rem_d + j*F.
+// Fix any completion and order the m fetches by the reference of the block
+// they carry.  The fetch carrying the block referenced at p_j is, in that
+// order, the j-th or later fetch, so it completes no earlier than slot_j; the
+// requests p_j..n-1 can only be served after it, hence
 //
-// Every quantity counts work that any feasible completion must perform, so
-// h never exceeds the true remaining stall: A* with such an admissible h
-// (with reopening of closed nodes, since h is not consistent — a delivery
-// can drop T_d by more than the transition's cost) pops the goal with an
-// optimal g.  At a goal state r = 0 and every mask is empty, so h = 0.
+//	E >= rem_d + j*F + (n - p_j)  for every j.
+//
+// This is the classic rearrangement (sorted-to-sorted matching) argument: the
+// scheduler chooses the fetch order, but matching ascending completion slots
+// to ascending references is the order that minimises the max of the chain
+// bounds, so the max over j is a valid lower bound over all orders.  If the
+// in-flight block itself is still referenced, at position q, its delivery
+// completes rem_d from now and E >= rem_d + (n - q) joins the max.  The old
+// PR-3 bound rem_d + m*F + (n - maxRef_d) is exactly the j = m term, so the
+// matching bound dominates it.
+//
+// Disk-pair merged-slot relaxation.  For a pair of disks, merge their
+// completion slots (the multiset {rem_1 + j*F} union {rem_2 + j*F}, sorted
+// ascending) and their references (sorted ascending), and apply the same
+// matching.  This relaxes the block-to-disk binding — it pretends either disk
+// could fetch any of the pair's blocks — so it is weaker per block, but it
+// sees the pair's joint saturation: the j-th earliest completion across both
+// disks happens no earlier than the j-th smallest merged slot, which no
+// per-disk bound can state.  Relaxations only remove constraints, so the
+// bound remains admissible; it strictly wins when both disks are loaded and
+// their references interleave.
+//
+// Landmark lower bounds.  Both bounds above are per-state; the landmark table
+// (landmark.go) is precomputed once per search from counting relaxations of
+// the instance suffix.  For a window of positions [p, t], any execution that
+// has served fewer than p requests must, before serving request t, complete
+// enough fetches to cover the window's demand regardless of cache content on
+// entry; a waterfill over the best possible cache allocation gives a
+// stall lower bound win(p, t) that holds for every state entering the window.
+// Because a bound that holds for any entering state also holds after any
+// earlier window has been traversed, the stall bounds of disjoint windows
+// add, and the table lm[p] = max(lm[p+1], max_t win(p, t) + lm[t+1]) is a
+// valid lower bound on the stall still to be paid from any state whose cursor
+// is at p.  h takes the max of lm[cursor] with the per-state bounds; the
+// LandmarkHits counter records evaluations where the landmark strictly won.
+//
+// h is admissible but not consistent (a delivery can drop a bound by more
+// than the transition's cost), so closed nodes are reopened when reached with
+// a smaller g; A* with reopening pops the goal with an optimal g.  At a goal
+// r = 0 and every bound is 0.
 //
 // # Branch-and-bound
 //
@@ -82,6 +108,57 @@
 // their stall also upper-bounds searches granted ExtraCache locations (extra
 // cache never increases the optimum).
 //
+// # Dominance merging
+//
+// Two states can differ syntactically yet admit exactly the same completions
+// at the same costs.  canonicalize (opt.go) maps a state to its
+// dominance-class representative: resident blocks that are never referenced
+// again are dropped from the cache mask, and an in-flight block that is never
+// referenced again is renamed to the deadBlock sentinel (its remaining time
+// is kept — it still occupies the disk).  The canonical form is a
+// bisimulation quotient: a dead resident block never satisfies a future
+// request, and evicting it is always at least as good as evicting a live
+// block (any schedule that evicts a live block while a dead one is resident
+// can be repaired, move for move, to evict the dead one first — the repaired
+// schedule serves every request no later); a dead in-flight block's identity
+// is irrelevant once its delivery can never serve a request, only its
+// remaining occupancy matters.  Hence two states with equal canonical keys
+// have identical optimal remaining costs, and the node table keys on the
+// canonical form.  A hit with equal raw key counts as DuplicateHits (the
+// historical path); a hit whose raw keys differ counts as PrunedByDominance.
+// The free-slot direction is covered by the same repair: a state with a dead
+// block occupying a cache slot is bisimilar to the state with the slot free,
+// because the dead occupant can be evicted by the next fetch at no cost.
+//
+// # Parallel driver
+//
+// Options.Workers > 1 runs the same search sharded across goroutines
+// (parallel.go): each worker owns an arena and a bucket queue, idle workers
+// steal half a victim's frontier, the closed table is sharded under mutexes,
+// and the incumbent is a shared atomic updated by CAS-min.  The invariants:
+//
+//   - Safety: a node is published to its table shard before any worker can
+//     reach it, records are immutable once published, and the bound used for
+//     pruning only ever decreases (CAS-min), so no worker prunes with a
+//     stale-low incumbent.
+//   - Termination: a pending-work counter is incremented before a push and
+//     decremented after an expansion; it reaches zero exactly when every
+//     queue is empty and no expansion is in flight.
+//   - Optimality at the goal: workers do not stop at the first goal pop.  A
+//     goal found with cost c only CAS-mins the incumbent; the search ends
+//     when the pending counter drains, at which point every node with
+//     g + h < incumbent has been expanded (none remains queued), so no
+//     completion cheaper than the incumbent exists, and the recorded parent
+//     chain of the incumbent goal — whose records are immutable — replays a
+//     consistent optimal schedule.
+//
+// Stall and elapsed results are therefore worker-count invariant; expansion
+// counters are not (workers race on duplicate discovery), which is why the
+// experiment suite pins Workers = 1 for its byte-reproducible tables and the
+// parallel driver is surfaced through pcopt -workers / pcbench -opt-workers
+// for wall-clock work.  Workers = 1 routes through the sequential engine, so
+// it is bit-identical to the default path by construction.
+//
 // # Branching modes
 //
 // Two branching modes are provided.  The default pruned mode applies two
@@ -92,4 +169,14 @@
 // reference is furthest in the future.  The full mode branches over every
 // missing block and every eviction victim; the tests verify on small random
 // instances that both modes agree, supporting the pruning.
+//
+// # Schedule replay
+//
+// The reconstructed schedule carries wall-clock MinTime pins on its fetches:
+// it encodes the exact execution plan the search costed, not just a fetch
+// order.  The executor (internal/sim) honours this by advancing through
+// intermediate completions and time gates while stalled on a pinned schedule,
+// so mid-stall fetch initiations on other disks start exactly when the search
+// assumed; MinTime-free schedules (the greedy and LP algorithms') keep the
+// historical single-jump stall semantics.
 package opt

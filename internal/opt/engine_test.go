@@ -292,7 +292,7 @@ func TestHeuristicAdmissibleAtRoot(t *testing.T) {
 		in := workload.Instance(seq, k, f, disks, workload.AssignStripe, 0)
 		s := newSearcher(in, Options{}, in.Blocks())
 		start := s.initialKey()
-		h0 := int(s.heuristic(&start))
+		h0 := int(s.heuristic(&start, s.hs))
 		res, err := Optimal(in, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)

@@ -1,0 +1,170 @@
+package opt
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"pfcache/internal/sim"
+	"pfcache/internal/workload"
+)
+
+// TestParallelMatchesSequential is the parallel driver's core property test:
+// across random multi-disk instances, Workers=4 must produce the same
+// stall/elapsed as the sequential engine, a feasible schedule realising that
+// stall, and per-worker expansion counts that sum to the total.
+func TestParallelMatchesSequential(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + trial%8
+		blocks := 5 + trial%4
+		k := 2 + trial%3
+		f := 1 + trial%4
+		disks := 1 + trial%3
+		seq := workload.Uniform(n, blocks, int64(4100+trial))
+		in := workload.Instance(seq, k, f, disks, workload.AssignStripe, 0)
+
+		seqRes, err := Optimal(in, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		parRes, err := Optimal(in, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v", trial, err)
+		}
+		if parRes.Stall != seqRes.Stall || parRes.Elapsed != seqRes.Elapsed {
+			t.Fatalf("trial %d: parallel stall/elapsed = %d/%d, sequential %d/%d",
+				trial, parRes.Stall, parRes.Elapsed, seqRes.Stall, seqRes.Elapsed)
+		}
+		if parRes.Workers != 4 || len(parRes.WorkerExpanded) != 4 {
+			t.Fatalf("trial %d: Workers = %d, WorkerExpanded = %v", trial, parRes.Workers, parRes.WorkerExpanded)
+		}
+		sum := 0
+		for _, e := range parRes.WorkerExpanded {
+			sum += e
+		}
+		if sum != parRes.StatesExpanded {
+			t.Fatalf("trial %d: WorkerExpanded sums to %d, StatesExpanded = %d", trial, sum, parRes.StatesExpanded)
+		}
+		res, err := sim.Run(in, parRes.Schedule, sim.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: parallel schedule infeasible: %v", trial, err)
+		}
+		if res.Stall != parRes.Stall {
+			t.Fatalf("trial %d: parallel schedule executes with stall %d, reported %d", trial, res.Stall, parRes.Stall)
+		}
+	}
+}
+
+// TestParallelWorkers1BitIdentical pins Workers=1 (and Workers=0) to the
+// sequential engine: the full Result — counters, seed fields, and the
+// schedule itself — must be identical, because Workers<=1 routes to the very
+// same code path.
+func TestParallelWorkers1BitIdentical(t *testing.T) {
+	seq := workload.Uniform(18, 8, 77)
+	in := workload.Instance(seq, 3, 3, 2, workload.AssignStripe, 0)
+	base, err := Optimal(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Optimal(in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, one) {
+		t.Fatalf("Workers=1 result differs from sequential:\n  base: %+v\n  one:  %+v", base, one)
+	}
+}
+
+// TestParallelWorkerPanicRecovery injects a panic into one worker and
+// verifies the driver recovers it into an error instead of crashing the
+// process or deadlocking the remaining workers.
+func TestParallelWorkerPanicRecovery(t *testing.T) {
+	var once sync.Once
+	testWorkerFault = func(worker int) {
+		if worker == 1 {
+			once.Do(func() {})
+			panic("injected worker fault")
+		}
+	}
+	defer func() { testWorkerFault = nil }()
+	seq := workload.Uniform(16, 7, 99)
+	in := workload.Instance(seq, 3, 3, 2, workload.AssignStripe, 0)
+	_, err := Optimal(in, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("expected an error from the panicking worker")
+	}
+	if !strings.Contains(err.Error(), "injected worker fault") {
+		t.Fatalf("error does not carry the panic value: %v", err)
+	}
+}
+
+// TestParallelMaxStatesExhaustion drives the parallel driver into its state
+// budget mid-run (work stealing active with 4 workers on a deliberately tiny
+// budget) and verifies every worker unwinds into a TooLargeError rather than
+// deadlocking on the pending counter.
+func TestParallelMaxStatesExhaustion(t *testing.T) {
+	seq := workload.Uniform(24, 10, 55)
+	in := workload.Instance(seq, 3, 4, 3, workload.AssignStripe, 0)
+	_, err := Optimal(in, Options{Workers: 4, MaxStates: 16, Bound: BoundNone})
+	var tle *TooLargeError
+	if !errors.As(err, &tle) {
+		t.Fatalf("err = %v, want *TooLargeError", err)
+	}
+	if tle.States != 16 {
+		t.Fatalf("TooLargeError.States = %d, want 16", tle.States)
+	}
+}
+
+// TestParallelChaosIncumbentRace exercises incumbent updates racing prunes:
+// with no greedy seed (Bound=none) every improving goal lowers the shared
+// incumbent while other workers are mid-relaxation; run under -race in CI's
+// chaos job.  Stall must stay deterministic across repetitions.
+func TestParallelChaosIncumbentRace(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		seq := workload.Uniform(20, 9, int64(8800+trial))
+		in := workload.Instance(seq, 3, 3, 3, workload.AssignStripe, 0)
+		want, err := Optimal(in, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, err := Optimal(in, Options{Workers: 8, Bound: BoundNone})
+			if err != nil {
+				t.Fatalf("trial %d rep %d: %v", trial, rep, err)
+			}
+			if got.Stall != want.Stall {
+				t.Fatalf("trial %d rep %d: parallel stall %d, want %d", trial, rep, got.Stall, want.Stall)
+			}
+			res, err := sim.Run(in, got.Schedule, sim.Options{})
+			if err != nil || res.Stall != got.Stall {
+				t.Fatalf("trial %d rep %d: schedule check failed: stall=%d err=%v", trial, rep, res.Stall, err)
+			}
+		}
+	}
+}
+
+// TestParallelSeedOptimal verifies the parallel driver proves a greedy seed
+// optimal (returning SeedOptimal with the seed schedule) exactly like the
+// sequential engine does when no strictly better path exists.
+func TestParallelSeedOptimal(t *testing.T) {
+	// A sequential scan with ample cache: prefetching hides every fetch, the
+	// greedy seed already achieves the optimum.
+	seq := workload.SequentialScan(12, 6)
+	in := workload.Instance(seq, 4, 2, 2, workload.AssignStripe, 0)
+	seqRes, err := Optimal(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Optimal(in, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.Stall != seqRes.Stall {
+		t.Fatalf("parallel stall %d, sequential %d", parRes.Stall, seqRes.Stall)
+	}
+	if seqRes.SeedOptimal != parRes.SeedOptimal {
+		t.Fatalf("SeedOptimal: sequential %v, parallel %v", seqRes.SeedOptimal, parRes.SeedOptimal)
+	}
+}

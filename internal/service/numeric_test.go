@@ -159,4 +159,15 @@ func TestStatsWireFieldsGolden(t *testing.T) {
 			t.Errorf("lp stats missing %q: %v", k, lpBlock)
 		}
 	}
+	optBlock, ok := m["opt"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing opt block: %v", m)
+	}
+	for _, k := range []string{"searches", "expanded", "generated", "pruned_by_bound",
+		"duplicate_hits", "pruned_by_dominance", "landmark_hits", "peak_table",
+		"workers", "worker_expanded"} {
+		if _, ok := optBlock[k]; !ok {
+			t.Errorf("opt stats missing %q: %v", k, optBlock)
+		}
+	}
 }

@@ -130,17 +130,21 @@ func lpCountersDiff(after, before lp.Counters) lp.Counters {
 }
 
 // optCountersDiff returns the counter growth between two snapshots.
-// PeakTable is a running maximum, not a sum, so the difference would be
-// meaningless: the after-value is reported as is (for a fresh process — the
-// CLI, the trajectory files — it equals the sweep's own peak).
+// PeakTable and Workers are running maxima, not sums, so their differences
+// would be meaningless: the after-values are reported as is (for a fresh
+// process — the CLI, the trajectory files — they equal the sweep's own peaks).
 func optCountersDiff(after, before opt.Counters) opt.Counters {
 	return opt.Counters{
-		Searches:      after.Searches - before.Searches,
-		Expanded:      after.Expanded - before.Expanded,
-		Generated:     after.Generated - before.Generated,
-		PrunedByBound: after.PrunedByBound - before.PrunedByBound,
-		DuplicateHits: after.DuplicateHits - before.DuplicateHits,
-		PeakTable:     after.PeakTable,
+		Searches:          after.Searches - before.Searches,
+		Expanded:          after.Expanded - before.Expanded,
+		Generated:         after.Generated - before.Generated,
+		PrunedByBound:     after.PrunedByBound - before.PrunedByBound,
+		DuplicateHits:     after.DuplicateHits - before.DuplicateHits,
+		PrunedByDominance: after.PrunedByDominance - before.PrunedByDominance,
+		LandmarkHits:      after.LandmarkHits - before.LandmarkHits,
+		PeakTable:         after.PeakTable,
+		Workers:           after.Workers,
+		WorkerExpanded:    after.WorkerExpanded - before.WorkerExpanded,
 	}
 }
 

@@ -98,14 +98,16 @@ type LPInfo struct {
 
 // OptInfo reports the exact-search work behind an opt schedule.
 type OptInfo struct {
-	Expanded      int    `json:"expanded"`
-	Generated     int    `json:"generated"`
-	PrunedByBound int    `json:"pruned_by_bound"`
-	DuplicateHits int    `json:"duplicate_hits"`
-	PeakTable     int    `json:"peak_table"`
-	SeedAlgorithm string `json:"seed_algorithm,omitempty"`
-	SeedStall     int    `json:"seed_stall"`
-	SeedOptimal   bool   `json:"seed_optimal"`
+	Expanded          int    `json:"expanded"`
+	Generated         int    `json:"generated"`
+	PrunedByBound     int    `json:"pruned_by_bound"`
+	DuplicateHits     int    `json:"duplicate_hits"`
+	PrunedByDominance int    `json:"pruned_by_dominance"`
+	LandmarkHits      int    `json:"landmark_hits"`
+	PeakTable         int    `json:"peak_table"`
+	SeedAlgorithm     string `json:"seed_algorithm,omitempty"`
+	SeedStall         int    `json:"seed_stall"`
+	SeedOptimal       bool   `json:"seed_optimal"`
 }
 
 // ScheduleResponse is the outcome of one schedule request.  Responses are
@@ -252,24 +254,32 @@ func lpCountersWire(c lp.Counters) LPCountersWire {
 // optCountersWire converts an opt.Counters snapshot to its wire form.
 func optCountersWire(c opt.Counters) OptCountersWire {
 	return OptCountersWire{
-		Searches:      c.Searches,
-		Expanded:      c.Expanded,
-		Generated:     c.Generated,
-		PrunedByBound: c.PrunedByBound,
-		DuplicateHits: c.DuplicateHits,
-		PeakTable:     c.PeakTable,
+		Searches:          c.Searches,
+		Expanded:          c.Expanded,
+		Generated:         c.Generated,
+		PrunedByBound:     c.PrunedByBound,
+		DuplicateHits:     c.DuplicateHits,
+		PrunedByDominance: c.PrunedByDominance,
+		LandmarkHits:      c.LandmarkHits,
+		PeakTable:         c.PeakTable,
+		Workers:           c.Workers,
+		WorkerExpanded:    c.WorkerExpanded,
 	}
 }
 
 // OptCountersWire mirrors opt.Counters with the stable JSON names of the
 // trajectory format.
 type OptCountersWire struct {
-	Searches      uint64 `json:"searches"`
-	Expanded      uint64 `json:"expanded"`
-	Generated     uint64 `json:"generated"`
-	PrunedByBound uint64 `json:"pruned_by_bound"`
-	DuplicateHits uint64 `json:"duplicate_hits"`
-	PeakTable     uint64 `json:"peak_table"`
+	Searches          uint64 `json:"searches"`
+	Expanded          uint64 `json:"expanded"`
+	Generated         uint64 `json:"generated"`
+	PrunedByBound     uint64 `json:"pruned_by_bound"`
+	DuplicateHits     uint64 `json:"duplicate_hits"`
+	PrunedByDominance uint64 `json:"pruned_by_dominance"`
+	LandmarkHits      uint64 `json:"landmark_hits"`
+	PeakTable         uint64 `json:"peak_table"`
+	Workers           uint64 `json:"workers"`
+	WorkerExpanded    uint64 `json:"worker_expanded"`
 }
 
 // SweepRequest runs named experiments.  An empty IDs list runs the whole

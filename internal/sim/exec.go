@@ -184,6 +184,8 @@ type executor struct {
 
 	cache map[core.BlockID]bool
 
+	pinned bool // the schedule carries wall-clock MinTime pins
+
 	time   int
 	served int
 	stall  int
@@ -261,6 +263,9 @@ func newExecutor(in *core.Instance, sched *core.Schedule, opts Options) *executo
 	}
 	for i, f := range sched.Fetches {
 		ex.queues[f.Disk] = append(ex.queues[f.Disk], queuedFetch{Fetch: f, index: i})
+		if f.MinTime > 0 {
+			ex.pinned = true
+		}
 	}
 	for _, b := range in.InitialCache {
 		ex.cache[b] = true
@@ -459,9 +464,24 @@ func (ex *executor) run() error {
 		// in-flight fetches progress and starting newly startable fetches as
 		// disks become idle.
 		if d := ex.diskFetching(b); d >= 0 {
-			done := ex.flights[d].done
-			ex.addStall(done - ex.time)
-			ex.time = done
+			next := ex.flights[d].done
+			if ex.pinned {
+				// A schedule with wall-clock pins (MinTime) encodes an exact
+				// execution plan: a fetch may be pinned to start mid-stall,
+				// possibly right after another disk's completion frees its
+				// disk.  Advance through intermediate completions and time
+				// gates so those initiations happen at their pinned times
+				// instead of being lumped together at b's delivery.  Unpinned
+				// schedules take the single jump, as before.
+				if ec := ex.earliestCompletion(); ec < next {
+					next = ec
+				}
+				if gate := ex.earliestTimeGate(); gate > ex.time && gate < next {
+					next = gate
+				}
+			}
+			ex.addStall(next - ex.time)
+			ex.time = next
 			continue
 		}
 		if !ex.reachable(b) {
